@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build vet test race bench clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/btree/ ./pkg/ekbtree/
+
+clean:
+	$(GO) clean ./...

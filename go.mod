@@ -1,0 +1,3 @@
+module github.com/paper-repro/ekbtree
+
+go 1.24

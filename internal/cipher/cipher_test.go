@@ -1,0 +1,116 @@
+package cipher
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func testCiphers(t *testing.T) map[string]NodeCipher {
+	t.Helper()
+	gcm, err := NewAESGCM(bytes.Repeat([]byte{0x42}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]NodeCipher{
+		"aes-gcm":   gcm,
+		"plaintext": Plaintext{},
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	pages := []struct {
+		name string
+		pt   []byte
+	}{
+		{"empty", []byte{}},
+		{"small", []byte("page-bytes")},
+		{"binary", bytes.Repeat([]byte{0x00, 0xFF}, 513)},
+		{"large", bytes.Repeat([]byte("0123456789abcdef"), 4096)},
+	}
+	for name, c := range testCiphers(t) {
+		for _, tt := range pages {
+			t.Run(name+"/"+tt.name, func(t *testing.T) {
+				sealed, err := c.Seal(7, tt.pt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := len(sealed), len(tt.pt)+c.Overhead(); got != want {
+					t.Errorf("sealed len = %d, want %d", got, want)
+				}
+				opened, err := c.Open(7, sealed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(opened, tt.pt) {
+					t.Errorf("round trip mismatch: got %d bytes, want %d", len(opened), len(tt.pt))
+				}
+			})
+		}
+	}
+}
+
+func TestAESGCMHidesPlaintext(t *testing.T) {
+	c, _ := NewAESGCM(bytes.Repeat([]byte{0x42}, 32))
+	pt := []byte("super-secret-search-key-material")
+	sealed, err := c.Seal(1, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(sealed, pt[:8]) {
+		t.Error("sealed page leaks plaintext bytes")
+	}
+}
+
+func TestAESGCMTamperDetection(t *testing.T) {
+	c, _ := NewAESGCM(bytes.Repeat([]byte{0x42}, 32))
+	sealed, err := c.Seal(1, []byte("authentic page"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []struct {
+		name   string
+		mutate func([]byte) ([]byte, uint64)
+	}{
+		{"flip ciphertext bit", func(s []byte) ([]byte, uint64) {
+			s[len(s)-1] ^= 0x01
+			return s, 1
+		}},
+		{"flip nonce bit", func(s []byte) ([]byte, uint64) {
+			s[0] ^= 0x01
+			return s, 1
+		}},
+		{"wrong page id", func(s []byte) ([]byte, uint64) { return s, 2 }},
+		{"truncated", func(s []byte) ([]byte, uint64) { return s[:4], 1 }},
+		{"empty", func(s []byte) ([]byte, uint64) { return nil, 1 }},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			s, id := tt.mutate(append([]byte(nil), sealed...))
+			if _, err := c.Open(id, s); !errors.Is(err, ErrOpen) {
+				t.Errorf("Open = %v, want ErrOpen", err)
+			}
+		})
+	}
+}
+
+func TestNewAESGCMKeySizes(t *testing.T) {
+	for _, size := range []int{16, 24, 32} {
+		if _, err := NewAESGCM(make([]byte, size)); err != nil {
+			t.Errorf("key size %d rejected: %v", size, err)
+		}
+	}
+	for _, size := range []int{0, 15, 31, 33} {
+		if _, err := NewAESGCM(make([]byte, size)); err == nil {
+			t.Errorf("key size %d accepted", size)
+		}
+	}
+}
+
+func TestSealIsRandomized(t *testing.T) {
+	c, _ := NewAESGCM(bytes.Repeat([]byte{0x42}, 32))
+	s1, _ := c.Seal(1, []byte("same page"))
+	s2, _ := c.Seal(1, []byte("same page"))
+	if bytes.Equal(s1, s2) {
+		t.Error("two seals of the same page produced identical ciphertext")
+	}
+}

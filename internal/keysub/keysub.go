@@ -1,0 +1,162 @@
+// Package keysub implements search-key substitution: a keyed mapping from
+// plaintext search keys to substituted search keys, following Hardjono &
+// Seberry (VLDB 1990). The B-tree layers above index and traverse exclusively
+// on substituted keys, so an adversary holding the index pages never sees a
+// plaintext key.
+//
+// Two substituters are provided:
+//
+//   - HMAC: a pure PRF (HMAC-SHA256 truncated to a configurable width).
+//     Substituted keys are pseudorandom, so the tree ordering leaks nothing
+//     about plaintext ordering, but range scans over plaintext order are
+//     impossible.
+//   - Bucketed: an order-preserving-at-bucket-granularity variant that
+//     prefixes the PRF output with the leading bits of the plaintext key.
+//     Keys falling in distinct buckets keep their relative order, enabling
+//     coarse range scans at the cost of leaking the bucket prefix.
+package keysub
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+)
+
+// Substituter maps a plaintext search key to a substituted search key.
+// Implementations must be deterministic (equal keys map to equal substitutes)
+// and injective with overwhelming probability.
+type Substituter interface {
+	// Substitute returns the substituted key. The result is a fresh buffer
+	// owned by the caller and never aliases the input.
+	Substitute(key []byte) []byte
+	// Width returns the length in bytes of substituted keys, or -1 if the
+	// width varies with the input.
+	Width() int
+	// Name identifies the scheme, e.g. for diagnostics and persistence.
+	Name() string
+}
+
+// RangeSubstituter is implemented by substituters whose substituted-key
+// order is coarsely related to plaintext order, so a plaintext range can be
+// mapped to a substituted range covering it.
+type RangeSubstituter interface {
+	Substituter
+	// SubstituteRange maps plaintext bounds [from, to) to substituted-key
+	// bounds [lo, hi) whose coverage is a superset of the plaintext range:
+	// every key in [from, to) substitutes into [lo, hi), possibly along with
+	// other keys sharing a boundary bucket. A nil bound stays nil
+	// (unbounded).
+	SubstituteRange(from, to []byte) (lo, hi []byte)
+}
+
+// MinWidth and MaxWidth bound the truncation width of the HMAC substituter.
+const (
+	MinWidth = 8
+	MaxWidth = sha256.Size
+)
+
+// HMAC substitutes keys via HMAC-SHA256 truncated to a fixed width.
+type HMAC struct {
+	secret []byte
+	width  int
+}
+
+// NewHMAC returns an HMAC substituter keyed with secret, producing
+// width-byte substituted keys. Width must be in [MinWidth, MaxWidth].
+func NewHMAC(secret []byte, width int) (*HMAC, error) {
+	if len(secret) == 0 {
+		return nil, fmt.Errorf("keysub: empty secret")
+	}
+	if width < MinWidth || width > MaxWidth {
+		return nil, fmt.Errorf("keysub: width %d out of range [%d, %d]", width, MinWidth, MaxWidth)
+	}
+	return &HMAC{secret: append([]byte(nil), secret...), width: width}, nil
+}
+
+func (h *HMAC) Substitute(key []byte) []byte {
+	mac := hmac.New(sha256.New, h.secret)
+	mac.Write(key)
+	sum := mac.Sum(nil)
+	return sum[:h.width:h.width]
+}
+
+func (h *HMAC) Width() int { return h.width }
+
+func (h *HMAC) Name() string { return fmt.Sprintf("hmac-sha256/%d", h.width) }
+
+// Bucketed wraps an inner substituter and prepends a bucket prefix taken from
+// the leading PrefixBits bits of the plaintext key. Because the prefix is a
+// monotone function of the key, substituted keys in different buckets compare
+// in plaintext order, while keys within a bucket fall back to the inner
+// substituter's (pseudorandom) order.
+type Bucketed struct {
+	inner      Substituter
+	prefixBits int
+	prefixLen  int
+}
+
+// NewBucketed returns a bucketed substituter with 2^prefixBits buckets.
+// prefixBits must be in [1, 64] and a multiple of 8 is recommended; odd bit
+// counts zero the trailing bits of the final prefix byte.
+func NewBucketed(inner Substituter, prefixBits int) (*Bucketed, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("keysub: nil inner substituter")
+	}
+	if prefixBits < 1 || prefixBits > 64 {
+		return nil, fmt.Errorf("keysub: prefixBits %d out of range [1, 64]", prefixBits)
+	}
+	return &Bucketed{inner: inner, prefixBits: prefixBits, prefixLen: (prefixBits + 7) / 8}, nil
+}
+
+func (b *Bucketed) Substitute(key []byte) []byte {
+	sub := b.inner.Substitute(key)
+	out := make([]byte, b.prefixLen+len(sub))
+	copy(out, b.prefix(key))
+	copy(out[b.prefixLen:], sub)
+	return out
+}
+
+// prefix returns the key's bucket prefix: its leading prefixBits bits.
+// Shorter keys are zero-padded, which keeps the mapping monotone (a prefix
+// sorts before its extensions).
+func (b *Bucketed) prefix(key []byte) []byte {
+	p := make([]byte, b.prefixLen)
+	copy(p, key)
+	if rem := b.prefixBits % 8; rem != 0 {
+		p[b.prefixLen-1] &= byte(0xFF << (8 - rem))
+	}
+	return p
+}
+
+// SubstituteRange implements RangeSubstituter: lo is from's bare bucket
+// prefix (sorting at or before every substituted key in that bucket), and hi
+// is to's bucket prefix plus one (sorting after every substituted key in
+// to's bucket). The result covers whole boundary buckets — a superset of the
+// plaintext range, never a pseudorandom sample of it.
+func (b *Bucketed) SubstituteRange(from, to []byte) (lo, hi []byte) {
+	if from != nil {
+		lo = b.prefix(from)
+	}
+	if to != nil {
+		hi = b.prefix(to)
+		for i := len(hi) - 1; i >= 0; i-- {
+			hi[i]++
+			if hi[i] != 0 {
+				return lo, hi
+			}
+		}
+		hi = nil // to's bucket is the last one: unbounded above
+	}
+	return lo, hi
+}
+
+func (b *Bucketed) Width() int {
+	if w := b.inner.Width(); w >= 0 {
+		return b.prefixLen + w
+	}
+	return -1
+}
+
+func (b *Bucketed) Name() string {
+	return fmt.Sprintf("bucketed/%dbit+%s", b.prefixBits, b.inner.Name())
+}

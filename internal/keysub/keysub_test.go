@@ -1,0 +1,178 @@
+package keysub
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+)
+
+func TestNewHMACValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		secret  []byte
+		width   int
+		wantErr bool
+	}{
+		{"valid min width", []byte("secret"), MinWidth, false},
+		{"valid max width", []byte("secret"), MaxWidth, false},
+		{"empty secret", nil, 16, true},
+		{"width too small", []byte("secret"), MinWidth - 1, true},
+		{"width too large", []byte("secret"), MaxWidth + 1, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewHMAC(tt.secret, tt.width)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewHMAC(%q, %d) error = %v, wantErr %v", tt.secret, tt.width, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestHMACSubstitute(t *testing.T) {
+	h, err := NewHMAC([]byte("secret-a"), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		key  []byte
+	}{
+		{"empty key", []byte{}},
+		{"short key", []byte("a")},
+		{"word key", []byte("employee-4711")},
+		{"binary key", []byte{0x00, 0xFF, 0x10}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s1 := h.Substitute(tt.key)
+			s2 := h.Substitute(tt.key)
+			if !bytes.Equal(s1, s2) {
+				t.Errorf("not deterministic: %x vs %x", s1, s2)
+			}
+			if len(s1) != 24 || len(s1) != h.Width() {
+				t.Errorf("width = %d, want %d", len(s1), h.Width())
+			}
+			if bytes.Contains(s1, tt.key) && len(tt.key) >= 4 {
+				t.Errorf("substituted key %x contains plaintext %x", s1, tt.key)
+			}
+		})
+	}
+}
+
+func TestHMACDistinctAcrossKeysAndSecrets(t *testing.T) {
+	h1, _ := NewHMAC([]byte("secret-a"), 24)
+	h2, _ := NewHMAC([]byte("secret-b"), 24)
+	if bytes.Equal(h1.Substitute([]byte("k1")), h1.Substitute([]byte("k2"))) {
+		t.Error("distinct keys mapped to equal substitutes")
+	}
+	if bytes.Equal(h1.Substitute([]byte("k1")), h2.Substitute([]byte("k1"))) {
+		t.Error("distinct secrets mapped key to equal substitutes")
+	}
+}
+
+func TestHMACDoesNotAliasInput(t *testing.T) {
+	h, _ := NewHMAC([]byte("secret"), 32)
+	key := []byte("mutate-me")
+	s1 := append([]byte(nil), h.Substitute(key)...)
+	key[0] = 'X'
+	// Re-substituting the original bytes must still match the saved copy.
+	if !bytes.Equal(s1, h.Substitute([]byte("mutate-me"))) {
+		t.Error("substitute changed after input mutation")
+	}
+}
+
+func TestNewBucketedValidation(t *testing.T) {
+	inner, _ := NewHMAC([]byte("secret"), 16)
+	if _, err := NewBucketed(nil, 8); err == nil {
+		t.Error("nil inner accepted")
+	}
+	if _, err := NewBucketed(inner, 0); err == nil {
+		t.Error("prefixBits 0 accepted")
+	}
+	if _, err := NewBucketed(inner, 65); err == nil {
+		t.Error("prefixBits 65 accepted")
+	}
+}
+
+func TestBucketedOrderPreservingAcrossBuckets(t *testing.T) {
+	inner, _ := NewHMAC([]byte("secret"), 16)
+	b, err := NewBucketed(inner, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys with distinct 2-byte prefixes fall in distinct buckets, so their
+	// substituted keys must sort in plaintext order.
+	plain := [][]byte{
+		[]byte("aa-one"), []byte("ab-two"), []byte("ba-three"),
+		[]byte("ca-four"), []byte("zz-five"),
+	}
+	subs := make([][]byte, len(plain))
+	for i, k := range plain {
+		subs[i] = b.Substitute(k)
+		if want := b.prefixLen + inner.Width(); len(subs[i]) != want || len(subs[i]) != b.Width() {
+			t.Fatalf("width = %d, want %d", len(subs[i]), want)
+		}
+	}
+	if !sort.SliceIsSorted(subs, func(i, j int) bool { return bytes.Compare(subs[i], subs[j]) < 0 }) {
+		t.Error("substituted keys not in plaintext order across buckets")
+	}
+}
+
+func TestBucketedSubstituteRange(t *testing.T) {
+	inner, _ := NewHMAC([]byte("secret"), 16)
+	b, err := NewBucketed(inner, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ RangeSubstituter = b
+
+	lo, hi := b.SubstituteRange([]byte("ca"), []byte("cc"))
+	if !bytes.Equal(lo, []byte("ca")) || !bytes.Equal(hi, []byte("cd")) {
+		t.Errorf("SubstituteRange = (%q, %q), want (ca, cd)", lo, hi)
+	}
+	// Every key in the plaintext range (and its boundary buckets) must
+	// substitute into [lo, hi).
+	for _, k := range [][]byte{[]byte("ca"), []byte("ca-zzz"), []byte("cb-mid"), []byte("cc-end")} {
+		s := b.Substitute(k)
+		if bytes.Compare(s, lo) < 0 || bytes.Compare(s, hi) >= 0 {
+			t.Errorf("Substitute(%q) = %x outside [%x, %x)", k, s, lo, hi)
+		}
+	}
+	// A key beyond the boundary bucket falls outside.
+	if s := b.Substitute([]byte("cd-out")); bytes.Compare(s, hi) < 0 {
+		t.Errorf("Substitute(cd-out) = %x inside upper bound %x", s, hi)
+	}
+
+	if lo, hi := b.SubstituteRange(nil, nil); lo != nil || hi != nil {
+		t.Errorf("nil bounds = (%v, %v), want (nil, nil)", lo, hi)
+	}
+	// Increment carries across prefix bytes, and wraps to unbounded at the
+	// last bucket.
+	if _, hi := b.SubstituteRange(nil, []byte{0x61, 0xFF}); !bytes.Equal(hi, []byte{0x62, 0x00}) {
+		t.Errorf("carry hi = %x, want 6200", hi)
+	}
+	if _, hi := b.SubstituteRange(nil, []byte{0xFF, 0xFF}); hi != nil {
+		t.Errorf("last-bucket hi = %x, want nil", hi)
+	}
+}
+
+func TestBucketedOddBitsAndShortKeys(t *testing.T) {
+	inner, _ := NewHMAC([]byte("secret"), 16)
+	b, err := NewBucketed(inner, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := b.Substitute([]byte{0xAB, 0xCD})
+	if s[0] != 0xAB || s[1] != 0xC0 {
+		t.Errorf("prefix = %x %x, want ab c0 (low 4 bits masked)", s[0], s[1])
+	}
+	// A key shorter than the prefix is zero-padded, sorting before extensions.
+	short := b.Substitute([]byte{0xAB})
+	if short[0] != 0xAB || short[1] != 0x00 {
+		t.Errorf("short-key prefix = %x %x, want ab 00", short[0], short[1])
+	}
+	if bytes.Compare(short[:2], s[:2]) >= 0 {
+		t.Error("short key does not sort before its extension's bucket")
+	}
+}

@@ -1,0 +1,174 @@
+// Package node defines the in-memory B-tree node and its binary page
+// encoding. Nodes hold only substituted search keys (see internal/keysub) —
+// plaintext keys never reach this layer — and are serialized to a compact
+// binary page that the cipher layer seals before it touches the store.
+//
+// Page layout (all integers big-endian):
+//
+//	magic    byte    0xEB
+//	version  byte    0x01
+//	flags    byte    bit0 = leaf
+//	nkeys    uint16
+//	keys     nkeys × (uint16 len, bytes)
+//	values   nkeys × (uint32 len, bytes)
+//	children (nkeys+1) × uint64   (internal nodes only)
+package node
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"bytes"
+)
+
+const (
+	magic   = 0xEB
+	version = 0x01
+
+	flagLeaf = 1 << 0
+
+	headerSize = 5 // magic + version + flags + nkeys
+
+	// MaxKeyLen and MaxValueLen bound entry sizes as encodable limits.
+	MaxKeyLen   = 1<<16 - 1
+	MaxValueLen = 1<<32 - 1
+)
+
+// ErrDecode is returned when a page does not decode to a valid node.
+var ErrDecode = errors.New("node: malformed page")
+
+// Node is a B-tree node. For a node with n keys, leaves have n values and no
+// children; internal nodes have n values (the payloads of their separator
+// keys) and n+1 children.
+type Node struct {
+	Leaf     bool
+	Keys     [][]byte // substituted search keys, strictly increasing
+	Values   [][]byte
+	Children []uint64 // page IDs; empty iff Leaf
+}
+
+// Search returns the index of the first key >= key, and whether that key is
+// an exact match.
+func (n *Node) Search(key []byte) (int, bool) {
+	i := sort.Search(len(n.Keys), func(i int) bool {
+		return bytes.Compare(n.Keys[i], key) >= 0
+	})
+	return i, i < len(n.Keys) && bytes.Equal(n.Keys[i], key)
+}
+
+// EncodedSize returns the exact size in bytes of Encode's output.
+func (n *Node) EncodedSize() int {
+	size := headerSize
+	for _, k := range n.Keys {
+		size += 2 + len(k)
+	}
+	for _, v := range n.Values {
+		size += 4 + len(v)
+	}
+	if !n.Leaf {
+		size += 8 * len(n.Children)
+	}
+	return size
+}
+
+// Encode serializes the node to a fresh page buffer.
+func (n *Node) Encode() ([]byte, error) {
+	if len(n.Values) != len(n.Keys) {
+		return nil, fmt.Errorf("node: %d keys but %d values", len(n.Keys), len(n.Values))
+	}
+	if n.Leaf && len(n.Children) != 0 {
+		return nil, fmt.Errorf("node: leaf with %d children", len(n.Children))
+	}
+	if !n.Leaf && len(n.Children) != len(n.Keys)+1 {
+		return nil, fmt.Errorf("node: internal node with %d keys but %d children", len(n.Keys), len(n.Children))
+	}
+	if len(n.Keys) > 1<<16-1 {
+		return nil, fmt.Errorf("node: too many keys: %d", len(n.Keys))
+	}
+	buf := make([]byte, 0, n.EncodedSize())
+	flags := byte(0)
+	if n.Leaf {
+		flags |= flagLeaf
+	}
+	buf = append(buf, magic, version, flags)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(n.Keys)))
+	for _, k := range n.Keys {
+		if len(k) > MaxKeyLen {
+			return nil, fmt.Errorf("node: key too long: %d", len(k))
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(k)))
+		buf = append(buf, k...)
+	}
+	for _, v := range n.Values {
+		if int64(len(v)) > MaxValueLen {
+			return nil, fmt.Errorf("node: value too long: %d", len(v))
+		}
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(v)))
+		buf = append(buf, v...)
+	}
+	if !n.Leaf {
+		for _, c := range n.Children {
+			buf = binary.BigEndian.AppendUint64(buf, c)
+		}
+	}
+	return buf, nil
+}
+
+// Decode parses a page produced by Encode. The returned node owns fresh
+// buffers and does not alias the page.
+func Decode(page []byte) (*Node, error) {
+	if len(page) < headerSize || page[0] != magic || page[1] != version {
+		return nil, ErrDecode
+	}
+	flags := page[2]
+	nkeys := int(binary.BigEndian.Uint16(page[3:5]))
+	n := &Node{Leaf: flags&flagLeaf != 0}
+	rest := page[headerSize:]
+
+	n.Keys = make([][]byte, nkeys)
+	for i := range n.Keys {
+		if len(rest) < 2 {
+			return nil, ErrDecode
+		}
+		klen := int(binary.BigEndian.Uint16(rest))
+		rest = rest[2:]
+		if len(rest) < klen {
+			return nil, ErrDecode
+		}
+		n.Keys[i] = append([]byte(nil), rest[:klen]...)
+		rest = rest[klen:]
+	}
+	n.Values = make([][]byte, nkeys)
+	for i := range n.Values {
+		if len(rest) < 4 {
+			return nil, ErrDecode
+		}
+		// Compare as uint64 so a length >= 2^31 returns ErrDecode on 32-bit
+		// platforms instead of panicking on a negative slice bound.
+		vlen32 := binary.BigEndian.Uint32(rest)
+		rest = rest[4:]
+		if uint64(len(rest)) < uint64(vlen32) {
+			return nil, ErrDecode
+		}
+		vlen := int(vlen32)
+		n.Values[i] = append([]byte(nil), rest[:vlen]...)
+		rest = rest[vlen:]
+	}
+	if !n.Leaf {
+		nchildren := nkeys + 1
+		if len(rest) < 8*nchildren {
+			return nil, ErrDecode
+		}
+		n.Children = make([]uint64, nchildren)
+		for i := range n.Children {
+			n.Children[i] = binary.BigEndian.Uint64(rest)
+			rest = rest[8:]
+		}
+	}
+	if len(rest) != 0 {
+		return nil, ErrDecode
+	}
+	return n, nil
+}

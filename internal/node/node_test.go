@@ -1,0 +1,166 @@
+package node
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		n    *Node
+	}{
+		{"empty leaf", &Node{Leaf: true}},
+		{"single-entry leaf", &Node{
+			Leaf:   true,
+			Keys:   [][]byte{[]byte("k1")},
+			Values: [][]byte{[]byte("v1")},
+		}},
+		{"leaf with empty key and value", &Node{
+			Leaf:   true,
+			Keys:   [][]byte{{}, []byte("k")},
+			Values: [][]byte{{}, {}},
+		}},
+		{"internal node", &Node{
+			Keys:     [][]byte{[]byte("b"), []byte("d")},
+			Values:   [][]byte{[]byte("vb"), []byte("vd")},
+			Children: []uint64{1, 2, 3},
+		}},
+		{"binary keys", &Node{
+			Leaf:   true,
+			Keys:   [][]byte{{0x00}, {0x00, 0x00}, {0xFF, 0x10}},
+			Values: [][]byte{{0xAA}, bytes.Repeat([]byte{0xBB}, 300), {}},
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			page, err := tt.n.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(page) != tt.n.EncodedSize() {
+				t.Errorf("len(page) = %d, EncodedSize = %d", len(page), tt.n.EncodedSize())
+			}
+			got, err := Decode(page)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !nodesEqual(got, tt.n) {
+				t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, tt.n)
+			}
+		})
+	}
+}
+
+// nodesEqual treats nil and empty slices as equal, which reflect.DeepEqual
+// does not.
+func nodesEqual(a, b *Node) bool {
+	if a.Leaf != b.Leaf || len(a.Keys) != len(b.Keys) || len(a.Values) != len(b.Values) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Keys {
+		if !bytes.Equal(a.Keys[i], b.Keys[i]) || !bytes.Equal(a.Values[i], b.Values[i]) {
+			return false
+		}
+	}
+	return reflect.DeepEqual(append([]uint64{}, a.Children...), append([]uint64{}, b.Children...))
+}
+
+func TestEncodeRejectsMalformedNodes(t *testing.T) {
+	tests := []struct {
+		name string
+		n    *Node
+	}{
+		{"keys/values mismatch", &Node{Leaf: true, Keys: [][]byte{[]byte("k")}}},
+		{"leaf with children", &Node{Leaf: true, Children: []uint64{1}}},
+		{"internal children mismatch", &Node{
+			Keys: [][]byte{[]byte("k")}, Values: [][]byte{[]byte("v")}, Children: []uint64{1},
+		}},
+		{"oversized key", &Node{
+			Leaf: true, Keys: [][]byte{make([]byte, MaxKeyLen+1)}, Values: [][]byte{{}},
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := tt.n.Encode(); err == nil {
+				t.Error("Encode accepted malformed node")
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsMalformedPages(t *testing.T) {
+	valid, err := (&Node{
+		Keys:     [][]byte{[]byte("key")},
+		Values:   [][]byte{[]byte("value")},
+		Children: []uint64{1, 2},
+	}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		page []byte
+	}{
+		{"nil", nil},
+		{"short", []byte{magic, version}},
+		{"bad magic", append([]byte{0x00}, valid[1:]...)},
+		{"bad version", append([]byte{magic, 0x99}, valid[2:]...)},
+		{"truncated keys", valid[:7]},
+		{"truncated children", valid[:len(valid)-3]},
+		{"trailing garbage", append(append([]byte(nil), valid...), 0x00)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(tt.page); !errors.Is(err, ErrDecode) {
+				t.Errorf("Decode = %v, want ErrDecode", err)
+			}
+		})
+	}
+}
+
+func TestDecodeDoesNotAliasPage(t *testing.T) {
+	n := &Node{Leaf: true, Keys: [][]byte{[]byte("key")}, Values: [][]byte{[]byte("val")}}
+	page, err := n.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range page {
+		page[i] = 0xFF
+	}
+	if !bytes.Equal(got.Keys[0], []byte("key")) || !bytes.Equal(got.Values[0], []byte("val")) {
+		t.Error("decoded node aliases the page buffer")
+	}
+}
+
+func TestSearch(t *testing.T) {
+	n := &Node{
+		Leaf:   true,
+		Keys:   [][]byte{[]byte("b"), []byte("d"), []byte("f")},
+		Values: [][]byte{nil, nil, nil},
+	}
+	tests := []struct {
+		key    string
+		wantI  int
+		wantEq bool
+	}{
+		{"a", 0, false},
+		{"b", 0, true},
+		{"c", 1, false},
+		{"d", 1, true},
+		{"f", 2, true},
+		{"g", 3, false},
+	}
+	for _, tt := range tests {
+		i, eq := n.Search([]byte(tt.key))
+		if i != tt.wantI || eq != tt.wantEq {
+			t.Errorf("Search(%q) = (%d, %v), want (%d, %v)", tt.key, i, eq, tt.wantI, tt.wantEq)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package store provides the page-store abstraction at the bottom of the
+// engine. A PageStore holds opaque, already-enciphered pages keyed by page ID
+// plus a single root pointer; it never sees node structure, substituted keys,
+// or plaintext. The in-memory implementation here is the first backend; a
+// file-backed store slots in behind the same interface.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNotFound is returned when a page ID has never been written or was freed.
+var ErrNotFound = errors.New("store: page not found")
+
+// NoRoot is the root pointer value meaning "empty tree". Page IDs returned by
+// Alloc are always > NoRoot.
+const NoRoot uint64 = 0
+
+// PageStore stores sealed pages. Implementations must be safe for concurrent
+// use.
+type PageStore interface {
+	// ReadPage returns the page's contents. The returned buffer is owned by
+	// the caller and never aliases the store's copy.
+	ReadPage(id uint64) ([]byte, error)
+	// WritePage stores the page, copying the buffer.
+	WritePage(id uint64, page []byte) error
+	// Alloc reserves a fresh page ID, never reusing a live one.
+	Alloc() uint64
+	// Free releases a page; subsequent reads return ErrNotFound.
+	Free(id uint64) error
+	// Root returns the current root page ID, or NoRoot for an empty tree.
+	Root() (uint64, error)
+	// SetRoot durably records the root page ID.
+	SetRoot(id uint64) error
+	// Meta returns the store's metadata blob (sealed engine header), or an
+	// empty slice if never set.
+	Meta() ([]byte, error)
+	// SetMeta durably records the metadata blob, copying the buffer.
+	SetMeta(meta []byte) error
+	// Close releases resources. The store must not be used afterwards.
+	Close() error
+}
+
+// Mem is an in-memory PageStore.
+type Mem struct {
+	mu     sync.RWMutex
+	pages  map[uint64][]byte
+	nextID uint64
+	root   uint64
+	meta   []byte
+	closed bool
+}
+
+// NewMem returns an empty in-memory page store.
+func NewMem() *Mem {
+	return &Mem{pages: make(map[uint64][]byte), nextID: NoRoot + 1}
+}
+
+func (m *Mem) ReadPage(id uint64) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return nil, errClosed()
+	}
+	p, ok := m.pages[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: page %d", ErrNotFound, id)
+	}
+	return append([]byte(nil), p...), nil
+}
+
+func (m *Mem) WritePage(id uint64, page []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errClosed()
+	}
+	m.pages[id] = append([]byte(nil), page...)
+	return nil
+}
+
+func (m *Mem) Alloc() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextID
+	m.nextID++
+	return id
+}
+
+func (m *Mem) Free(id uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errClosed()
+	}
+	if _, ok := m.pages[id]; !ok {
+		return fmt.Errorf("%w: page %d", ErrNotFound, id)
+	}
+	delete(m.pages, id)
+	return nil
+}
+
+func (m *Mem) Root() (uint64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return NoRoot, errClosed()
+	}
+	return m.root, nil
+}
+
+func (m *Mem) SetRoot(id uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errClosed()
+	}
+	m.root = id
+	return nil
+}
+
+func (m *Mem) Meta() ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return nil, errClosed()
+	}
+	return append([]byte(nil), m.meta...), nil
+}
+
+func (m *Mem) SetMeta(meta []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errClosed()
+	}
+	m.meta = append([]byte(nil), meta...)
+	return nil
+}
+
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.pages = nil
+	return nil
+}
+
+// Len returns the number of live pages.
+func (m *Mem) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.pages)
+}
+
+// Snapshot returns a deep copy of all live pages, for tests and diagnostics
+// (e.g. verifying that no plaintext bytes reach the store).
+func (m *Mem) Snapshot() map[uint64][]byte {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[uint64][]byte, len(m.pages))
+	for id, p := range m.pages {
+		out[id] = append([]byte(nil), p...)
+	}
+	return out
+}
+
+func errClosed() error { return errors.New("store: closed") }

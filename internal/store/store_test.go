@@ -1,0 +1,163 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestMemReadWrite(t *testing.T) {
+	m := NewMem()
+	defer m.Close()
+	id := m.Alloc()
+	if id == NoRoot {
+		t.Fatal("Alloc returned NoRoot")
+	}
+	if _, err := m.ReadPage(id); !errors.Is(err, ErrNotFound) {
+		t.Errorf("read before write = %v, want ErrNotFound", err)
+	}
+	page := []byte("sealed-bytes")
+	if err := m.WritePage(id, page); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadPage(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, page) {
+		t.Errorf("ReadPage = %q, want %q", got, page)
+	}
+	// The store must not alias caller or callee buffers.
+	page[0] = 'X'
+	got[1] = 'Y'
+	fresh, _ := m.ReadPage(id)
+	if !bytes.Equal(fresh, []byte("sealed-bytes")) {
+		t.Error("store aliases caller buffers")
+	}
+}
+
+func TestMemAllocUnique(t *testing.T) {
+	m := NewMem()
+	defer m.Close()
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		id := m.Alloc()
+		if seen[id] {
+			t.Fatalf("Alloc returned duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestMemFree(t *testing.T) {
+	m := NewMem()
+	defer m.Close()
+	id := m.Alloc()
+	if err := m.Free(id); !errors.Is(err, ErrNotFound) {
+		t.Errorf("free of never-written page = %v, want ErrNotFound", err)
+	}
+	if err := m.WritePage(id, []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadPage(id); !errors.Is(err, ErrNotFound) {
+		t.Errorf("read after free = %v, want ErrNotFound", err)
+	}
+	if m.Len() != 0 {
+		t.Errorf("Len = %d, want 0", m.Len())
+	}
+}
+
+func TestMemRoot(t *testing.T) {
+	m := NewMem()
+	defer m.Close()
+	root, err := m.Root()
+	if err != nil || root != NoRoot {
+		t.Fatalf("fresh Root = (%d, %v), want (NoRoot, nil)", root, err)
+	}
+	if err := m.SetRoot(42); err != nil {
+		t.Fatal(err)
+	}
+	if root, _ = m.Root(); root != 42 {
+		t.Errorf("Root = %d, want 42", root)
+	}
+}
+
+func TestMemMeta(t *testing.T) {
+	m := NewMem()
+	defer m.Close()
+	meta, err := m.Meta()
+	if err != nil || len(meta) != 0 {
+		t.Fatalf("fresh Meta = (%q, %v), want empty", meta, err)
+	}
+	blob := []byte("header")
+	if err := m.SetMeta(blob); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Meta()
+	if !bytes.Equal(got, blob) {
+		t.Errorf("Meta = %q, want %q", got, blob)
+	}
+	blob[0] = 'X'
+	got[1] = 'Y'
+	if fresh, _ := m.Meta(); !bytes.Equal(fresh, []byte("header")) {
+		t.Error("Meta aliases caller buffers")
+	}
+}
+
+func TestMemClosed(t *testing.T) {
+	m := NewMem()
+	m.Close()
+	if _, err := m.ReadPage(1); err == nil {
+		t.Error("ReadPage after Close succeeded")
+	}
+	if err := m.WritePage(1, nil); err == nil {
+		t.Error("WritePage after Close succeeded")
+	}
+	if err := m.SetRoot(1); err == nil {
+		t.Error("SetRoot after Close succeeded")
+	}
+}
+
+func TestMemSnapshotIsDeepCopy(t *testing.T) {
+	m := NewMem()
+	defer m.Close()
+	id := m.Alloc()
+	m.WritePage(id, []byte("original"))
+	snap := m.Snapshot()
+	snap[id][0] = 'X'
+	got, _ := m.ReadPage(id)
+	if !bytes.Equal(got, []byte("original")) {
+		t.Error("Snapshot aliases store pages")
+	}
+}
+
+func TestMemConcurrent(t *testing.T) {
+	m := NewMem()
+	defer m.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := m.Alloc()
+				if err := m.WritePage(id, []byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := m.ReadPage(id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Len() != 800 {
+		t.Errorf("Len = %d, want 800", m.Len())
+	}
+}

@@ -1,0 +1,98 @@
+package ekbtree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+func benchTree(b *testing.B) *Tree {
+	b.Helper()
+	tr, err := Open(Options{MasterKey: bytes.Repeat([]byte{0x99}, 32)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func benchKey(rng *rand.Rand, i int) []byte {
+	k := make([]byte, 16)
+	binary.BigEndian.PutUint64(k, rng.Uint64())
+	binary.BigEndian.PutUint64(k[8:], uint64(i))
+	return k
+}
+
+// BenchmarkPutGet measures the full stack — key substitution, node
+// encode/decode, AES-GCM seal/open, and store round trips — for one Put of a
+// fresh key plus one Get, over a pre-populated 10k-key tree.
+func BenchmarkPutGet(b *testing.B) {
+	tr := benchTree(b)
+	defer tr.Close()
+	rng := rand.New(rand.NewSource(42))
+	value := make([]byte, 64)
+	for i := 0; i < 10_000; i++ {
+		if err := tr.Put(benchKey(rng, i), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := benchKey(rng, 10_000+i)
+		if err := tr.Put(k, value); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok, err := tr.Get(k); err != nil || !ok {
+			b.Fatalf("Get = (%v, %v)", ok, err)
+		}
+	}
+}
+
+// BenchmarkGetParallel measures concurrent readers through the façade's
+// RWMutex over a 10k-key tree.
+func BenchmarkGetParallel(b *testing.B) {
+	tr := benchTree(b)
+	defer tr.Close()
+	rng := rand.New(rand.NewSource(42))
+	keys := make([][]byte, 10_000)
+	value := make([]byte, 64)
+	for i := range keys {
+		keys[i] = benchKey(rng, i)
+		if err := tr.Put(keys[i], value); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, ok, err := tr.Get(keys[i%len(keys)]); err != nil || !ok {
+				b.Fatalf("Get = (%v, %v)", ok, err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkScan measures a full ordered scan of a 10k-key tree.
+func BenchmarkScan(b *testing.B) {
+	tr := benchTree(b)
+	defer tr.Close()
+	rng := rand.New(rand.NewSource(42))
+	value := make([]byte, 64)
+	for i := 0; i < 10_000; i++ {
+		if err := tr.Put(benchKey(rng, i), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		if err := tr.Scan(func(_, _ []byte) bool { count++; return true }); err != nil {
+			b.Fatal(err)
+		}
+		if count != 10_000 {
+			b.Fatalf("scan visited %d", count)
+		}
+	}
+}

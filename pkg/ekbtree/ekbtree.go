@@ -1,0 +1,265 @@
+// Package ekbtree is the public façade over the enciphered-B-tree engine,
+// reproducing the architecture of Hardjono & Seberry, "Search Key
+// Substitution in the Encipherment of B-Trees" (VLDB 1990).
+//
+// The engine is five layers; plaintext search keys exist only above the
+// façade:
+//
+//	caller ── plaintext key, value
+//	   │
+//	pkg/ekbtree        façade: substitute key, serialize access
+//	   │
+//	internal/keysub    key substitution (HMAC PRF / bucketed order-preserving)
+//	   │
+//	internal/btree     B-tree over substituted keys only
+//	   │
+//	internal/node      node <-> page binary encoding
+//	   │
+//	internal/cipher    page encipherment (AES-GCM)
+//	   │
+//	internal/store     page store: sealed pages only
+package ekbtree
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"github.com/paper-repro/ekbtree/internal/btree"
+	"github.com/paper-repro/ekbtree/internal/cipher"
+	"github.com/paper-repro/ekbtree/internal/keysub"
+	"github.com/paper-repro/ekbtree/internal/node"
+	"github.com/paper-repro/ekbtree/internal/store"
+)
+
+// DefaultOrder is the default B-tree order (maximum children per node).
+const DefaultOrder = 32
+
+// Options configures a tree. The zero value is invalid: either MasterKey or
+// both Substituter and Cipher must be set.
+type Options struct {
+	// Order is the maximum number of children per node; it must be even and
+	// at least 4. Zero means DefaultOrder.
+	Order int
+	// MasterKey derives the substitution secret and the node-cipher key when
+	// Substituter or Cipher are unset. It must be at least 16 bytes.
+	MasterKey []byte
+	// Substituter overrides the derived HMAC substituter.
+	Substituter keysub.Substituter
+	// Cipher overrides the derived AES-256-GCM node cipher.
+	Cipher cipher.NodeCipher
+	// Store is the backing page store. Nil means a fresh in-memory store.
+	Store store.PageStore
+}
+
+// deriveKey computes a labeled subkey of master, so the substitution secret
+// and the encipherment key are cryptographically independent.
+func deriveKey(master []byte, label string) []byte {
+	mac := hmac.New(sha256.New, master)
+	mac.Write([]byte(label))
+	return mac.Sum(nil)
+}
+
+// Tree is an enciphered B-tree. All methods are safe for concurrent use.
+type Tree struct {
+	mu  sync.RWMutex
+	sub keysub.Substituter
+	bt  *btree.Tree
+	st  store.PageStore
+}
+
+// Open builds a tree from opts. Reopening an existing store requires the same
+// substituter and cipher keys it was written with.
+func Open(opts Options) (*Tree, error) {
+	order := opts.Order
+	if order == 0 {
+		order = DefaultOrder
+	}
+	if order < 4 || order%2 != 0 {
+		return nil, fmt.Errorf("ekbtree: order %d must be even and >= 4", order)
+	}
+	sub := opts.Substituter
+	nc := opts.Cipher
+	if sub == nil || nc == nil {
+		if len(opts.MasterKey) < 16 {
+			return nil, fmt.Errorf("ekbtree: master key must be at least 16 bytes")
+		}
+		if sub == nil {
+			var err error
+			if sub, err = keysub.NewHMAC(deriveKey(opts.MasterKey, "ekbtree/keysub"), 24); err != nil {
+				return nil, err
+			}
+		}
+		if nc == nil {
+			var err error
+			if nc, err = cipher.NewAESGCM(deriveKey(opts.MasterKey, "ekbtree/cipher")); err != nil {
+				return nil, err
+			}
+		}
+	}
+	st := opts.Store
+	if st == nil {
+		st = store.NewMem()
+	}
+	if err := checkHeader(st, nc, sub, order); err != nil {
+		return nil, err
+	}
+	bt, err := btree.New(&nodeIO{st: st, nc: nc}, order/2)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{sub: sub, bt: bt, st: st}, nil
+}
+
+// metaPageID is the pseudo page ID binding the sealed header; real page IDs
+// from Alloc are always greater.
+const metaPageID = store.NoRoot
+
+// checkHeader validates an existing store's engine header against the opened
+// configuration, or writes one into a fresh store. The header is sealed with
+// the node cipher, so opening an existing store with the wrong key fails
+// here, fast and closed, instead of on the first Get.
+func checkHeader(st store.PageStore, nc cipher.NodeCipher, sub keysub.Substituter, order int) error {
+	want := fmt.Sprintf("ekbtree/1 order=%d keysub=%s cipher=%s", order, sub.Name(), nc.Name())
+	meta, err := st.Meta()
+	if err != nil {
+		return err
+	}
+	if len(meta) == 0 {
+		sealed, err := nc.Seal(metaPageID, []byte(want))
+		if err != nil {
+			return err
+		}
+		return st.SetMeta(sealed)
+	}
+	got, err := nc.Open(metaPageID, meta)
+	if err != nil {
+		return fmt.Errorf("ekbtree: cannot open store header (wrong key or corrupted store): %w", err)
+	}
+	if string(got) != want {
+		return fmt.Errorf("ekbtree: store was written with %q, opened with %q", got, want)
+	}
+	return nil
+}
+
+// Put stores value under key, replacing any existing value.
+func (t *Tree) Put(key, value []byte) error {
+	sk := t.sub.Substitute(key)
+	v := append([]byte(nil), value...)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bt.Put(sk, v)
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+	sk := t.sub.Substitute(key)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.bt.Get(sk)
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree) Delete(key []byte) (bool, error) {
+	sk := t.sub.Substitute(key)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bt.Delete(sk)
+}
+
+// Scan visits every entry in ascending substituted-key order, stopping early
+// if fn returns false. With a pseudorandom substituter this order is
+// unrelated to plaintext order; with a bucketed substituter it follows
+// plaintext order at bucket granularity. The subKey passed to fn is the
+// substituted key — the plaintext key is not recoverable from the tree.
+//
+// fn runs with the tree's lock held and must not call any method of this
+// Tree, or it will deadlock.
+func (t *Tree) Scan(fn func(subKey, value []byte) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.bt.Scan(fn)
+}
+
+// ScanRange visits entries whose substituted keys fall in [fromKey, toKey) in
+// ascending substituted-key order. The bounds are plaintext keys. With a
+// range-capable substituter (e.g. the bucketed one) the traversal covers
+// whole boundary buckets, so it visits a superset of the plaintext range —
+// every key in [fromKey, toKey) plus possibly others sharing a boundary
+// bucket. With a pure-PRF substituter the bounds are substituted pointwise
+// and the scanned interval bears no relation to plaintext order. A nil bound
+// is unbounded on that side.
+//
+// fn runs with the tree's lock held and must not call any method of this
+// Tree, or it will deadlock.
+func (t *Tree) ScanRange(fromKey, toKey []byte, fn func(subKey, value []byte) bool) error {
+	var from, to []byte
+	if rs, ok := t.sub.(keysub.RangeSubstituter); ok {
+		from, to = rs.SubstituteRange(fromKey, toKey)
+	} else {
+		if fromKey != nil {
+			from = t.sub.Substitute(fromKey)
+		}
+		if toKey != nil {
+			to = t.sub.Substitute(toKey)
+		}
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.bt.ScanRange(from, to, fn)
+}
+
+// Stats reports tree shape (key count, node count, height).
+func (t *Tree) Stats() (btree.Stats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.bt.Stats()
+}
+
+// Close releases the underlying store.
+func (t *Tree) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.st.Close()
+}
+
+// nodeIO adapts a PageStore + NodeCipher into the btree layer's NodeStore:
+// every node write is encoded then sealed, every read is opened then decoded,
+// so the store only ever holds enciphered pages.
+type nodeIO struct {
+	st store.PageStore
+	nc cipher.NodeCipher
+}
+
+func (io *nodeIO) Read(id uint64) (*node.Node, error) {
+	page, err := io.st.ReadPage(id)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := io.nc.Open(id, page)
+	if err != nil {
+		return nil, err
+	}
+	return node.Decode(pt)
+}
+
+func (io *nodeIO) Write(id uint64, n *node.Node) error {
+	pt, err := n.Encode()
+	if err != nil {
+		return err
+	}
+	page, err := io.nc.Seal(id, pt)
+	if err != nil {
+		return err
+	}
+	return io.st.WritePage(id, page)
+}
+
+func (io *nodeIO) Alloc() uint64 { return io.st.Alloc() }
+
+func (io *nodeIO) Free(id uint64) error { return io.st.Free(id) }
+
+func (io *nodeIO) Root() (uint64, error) { return io.st.Root() }
+
+func (io *nodeIO) SetRoot(id uint64) error { return io.st.SetRoot(id) }

@@ -1,0 +1,387 @@
+package ekbtree
+
+import (
+	"bytes"
+	"crypto/rand"
+	"fmt"
+	mrand "math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/paper-repro/ekbtree/internal/cipher"
+	"github.com/paper-repro/ekbtree/internal/keysub"
+	"github.com/paper-repro/ekbtree/internal/store"
+)
+
+func TestOpenValidation(t *testing.T) {
+	master := bytes.Repeat([]byte{0x11}, 32)
+	tests := []struct {
+		name    string
+		opts    Options
+		wantErr bool
+	}{
+		{"defaults", Options{MasterKey: master}, false},
+		{"explicit order", Options{MasterKey: master, Order: 8}, false},
+		{"odd order", Options{MasterKey: master, Order: 7}, true},
+		{"tiny order", Options{MasterKey: master, Order: 2}, true},
+		{"short master key", Options{MasterKey: []byte("short")}, true},
+		{"no keys at all", Options{}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Open(tt.opts)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Open error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPutGetDeleteRoundTrip(t *testing.T) {
+	tr, err := Open(Options{MasterKey: bytes.Repeat([]byte{0x11}, 32), Order: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for i := 0; i < 500; i++ {
+		k := []byte(fmt.Sprintf("user:%04d", i))
+		if err := tr.Put(k, []byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		k := []byte(fmt.Sprintf("user:%04d", i))
+		v, ok, err := tr.Get(k)
+		if err != nil || !ok || string(v) != fmt.Sprintf("record-%d", i) {
+			t.Fatalf("Get(%s) = (%q, %v, %v)", k, v, ok, err)
+		}
+	}
+	if _, ok, _ := tr.Get([]byte("user:9999")); ok {
+		t.Error("absent key reported present")
+	}
+	for i := 0; i < 500; i += 2 {
+		k := []byte(fmt.Sprintf("user:%04d", i))
+		if ok, err := tr.Delete(k); err != nil || !ok {
+			t.Fatalf("Delete(%s) = (%v, %v)", k, ok, err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		_, ok, _ := tr.Get([]byte(fmt.Sprintf("user:%04d", i)))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("after deletes, Get(%d) present = %v, want %v", i, ok, want)
+		}
+	}
+	if s, _ := tr.Stats(); s.Keys != 250 {
+		t.Errorf("Stats.Keys = %d, want 250", s.Keys)
+	}
+}
+
+// TestRoundTripProperty is the headline property test: insert N random keys,
+// verify every one is retrievable, Scan visits exactly N entries in ascending
+// substituted-key order, and (separately) no plaintext key bytes appear in
+// any stored page.
+func TestRoundTripProperty(t *testing.T) {
+	st := store.NewMem()
+	tr, err := Open(Options{MasterKey: bytes.Repeat([]byte{0x22}, 32), Order: 8, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	const n = 1000
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = make([]byte, 16)
+		if _, err := rand.Read(keys[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Put(keys[i], append([]byte("val-"), keys[i]...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range keys {
+		v, ok, err := tr.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("Get(%x) = (%v, %v)", k, ok, err)
+		}
+		if !bytes.Equal(v, append([]byte("val-"), k...)) {
+			t.Fatalf("Get(%x) returned wrong value", k)
+		}
+	}
+	var scanned [][]byte
+	if err := tr.Scan(func(sk, _ []byte) bool {
+		scanned = append(scanned, append([]byte(nil), sk...))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(scanned) != n {
+		t.Fatalf("Scan visited %d entries, want %d", len(scanned), n)
+	}
+	if !sort.SliceIsSorted(scanned, func(i, j int) bool { return bytes.Compare(scanned[i], scanned[j]) < 0 }) {
+		t.Error("Scan not in ascending substituted-key order")
+	}
+}
+
+// TestNoPlaintextInStore verifies the paper's core guarantee end to end: with
+// the real cipher, neither plaintext keys nor values appear in any stored
+// page; and even with the pass-through cipher, plaintext keys still never
+// appear because the tree indexes substituted keys only.
+func TestNoPlaintextInStore(t *testing.T) {
+	configs := []struct {
+		name        string
+		cipher      cipher.NodeCipher
+		checkValues bool // values are only hidden by the page cipher
+	}{
+		{"aes-gcm", nil, true},
+		{"plaintext cipher, substituted keys only", cipher.Plaintext{}, false},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			st := store.NewMem()
+			tr, err := Open(Options{
+				MasterKey: bytes.Repeat([]byte{0x33}, 32),
+				Order:     8,
+				Store:     st,
+				Cipher:    cfg.cipher,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Close()
+			const n = 400
+			keys := make([][]byte, n)
+			for i := range keys {
+				keys[i] = make([]byte, 16)
+				if _, err := rand.Read(keys[i]); err != nil {
+					t.Fatal(err)
+				}
+				// Only embed the key in the value when the page cipher hides
+				// values; key substitution alone protects keys, not payloads.
+				value := []byte("v")
+				if cfg.checkValues {
+					value = append([]byte("secret-value-"), keys[i]...)
+				}
+				if err := tr.Put(keys[i], value); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for id, page := range st.Snapshot() {
+				for _, k := range keys {
+					if bytes.Contains(page, k) {
+						t.Fatalf("page %d contains plaintext key %x", id, k)
+					}
+					if cfg.checkValues && bytes.Contains(page, append([]byte("secret-value-"), k...)) {
+						t.Fatalf("page %d contains plaintext value", id)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBucketedScanOrder checks that the order-preserving bucket substituter
+// makes Scan follow plaintext order when keys fall in distinct buckets.
+func TestBucketedScanOrder(t *testing.T) {
+	inner, err := keysub.NewHMAC(bytes.Repeat([]byte{0x44}, 32), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := keysub.NewBucketed(inner, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcm, err := cipher.NewAESGCM(bytes.Repeat([]byte{0x55}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Open(Options{Substituter: sub, Cipher: gcm, Order: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	// Distinct 2-byte prefixes → distinct buckets → plaintext order holds.
+	plain := make([][]byte, 0, 26*26)
+	for a := byte('a'); a <= 'z'; a++ {
+		for b := byte('a'); b <= 'z'; b++ {
+			plain = append(plain, []byte{a, b, '-', 'k'})
+		}
+	}
+	subToPlain := make(map[string][]byte, len(plain))
+	rng := mrand.New(mrand.NewSource(5))
+	for _, i := range rng.Perm(len(plain)) {
+		k := plain[i]
+		subToPlain[string(sub.Substitute(k))] = k
+		if err := tr.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got [][]byte
+	if err := tr.Scan(func(sk, _ []byte) bool {
+		got = append(got, subToPlain[string(sk)])
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(plain) {
+		t.Fatalf("Scan visited %d, want %d", len(got), len(plain))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return bytes.Compare(got[i], got[j]) < 0 }) {
+		t.Error("bucketed Scan not in plaintext order")
+	}
+	// A plaintext range scan works at bucket granularity: bounds expand to
+	// whole buckets, so the result is a superset of the plaintext range.
+	// Bounds in empty buckets ("c", "d" zero-pad to buckets holding no keys)
+	// give an exact result: all 26 "c?" keys.
+	var ranged [][]byte
+	if err := tr.ScanRange([]byte("c"), []byte("d"), func(sk, _ []byte) bool {
+		ranged = append(ranged, subToPlain[string(sk)])
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ranged) != 26 {
+		t.Fatalf("ScanRange visited %d entries, want 26", len(ranged))
+	}
+	for _, k := range ranged {
+		if k[0] != 'c' {
+			t.Errorf("ScanRange returned out-of-range key %q", k)
+		}
+	}
+}
+
+// TestBucketedScanRangeSuperset pins the range contract when bounds fall
+// inside occupied buckets: every plaintext key in [from, to) must be
+// visited — boundary buckets may contribute extras, but never drop in-range
+// keys.
+func TestBucketedScanRangeSuperset(t *testing.T) {
+	sub, err := NewBucketedSubstituter(bytes.Repeat([]byte{0x88}, 32), 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcm, err := cipher.NewAESGCM(bytes.Repeat([]byte{0x89}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Open(Options{Substituter: sub, Cipher: gcm, Order: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	// Ten keys per bucket across buckets "aa".."ae".
+	subToPlain := map[string]string{}
+	for _, b := range []string{"aa", "ab", "ac", "ad", "ae"} {
+		for i := 0; i < 10; i++ {
+			k := fmt.Sprintf("%s-%d", b, i)
+			subToPlain[string(sub.Substitute([]byte(k)))] = k
+			if err := tr.Put([]byte(k), []byte(k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Bounds land inside occupied buckets "ab" and "ad".
+	got := map[string]bool{}
+	if err := tr.ScanRange([]byte("ab-3"), []byte("ad-7"), func(sk, _ []byte) bool {
+		got[subToPlain[string(sk)]] = true
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for k := range subToPlain {
+		plain := subToPlain[k]
+		inRange := plain >= "ab-3" && plain < "ad-7"
+		if inRange && !got[plain] {
+			t.Errorf("in-range key %q dropped from ScanRange", plain)
+		}
+		if got[plain] && (plain[:2] < "ab" || plain[:2] > "ad") {
+			t.Errorf("key %q outside boundary buckets visited", plain)
+		}
+	}
+}
+
+// TestReopen verifies that a store written by one Tree is readable by a new
+// Tree opened with the same master key, and unreadable with a different key.
+func TestReopen(t *testing.T) {
+	master := bytes.Repeat([]byte{0x66}, 32)
+	st := store.NewMem()
+	tr, err := Open(Options{MasterKey: master, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Put([]byte("persist"), []byte("me")); err != nil {
+		t.Fatal(err)
+	}
+
+	tr2, err := Open(Options{MasterKey: master, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := tr2.Get([]byte("persist")); err != nil || !ok || string(v) != "me" {
+		t.Fatalf("reopened Get = (%q, %v, %v)", v, ok, err)
+	}
+
+	// The sealed store header makes a wrong master key fail at Open.
+	wrong := bytes.Repeat([]byte{0x67}, 32)
+	if _, err := Open(Options{MasterKey: wrong, Store: st}); err == nil {
+		t.Error("Open with wrong master key succeeded")
+	}
+}
+
+// TestReopenConfigMismatch verifies the sealed header rejects reopening a
+// store with a different order or substituter than it was written with.
+func TestReopenConfigMismatch(t *testing.T) {
+	master := bytes.Repeat([]byte{0x68}, 32)
+	st := store.NewMem()
+	if _, err := Open(Options{MasterKey: master, Order: 32, Store: st}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{MasterKey: master, Order: 8, Store: st}); err == nil {
+		t.Error("Open with mismatched order succeeded")
+	}
+	sub, err := keysub.NewHMAC(master, 16) // differs from derived width 24
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{MasterKey: master, Order: 32, Store: st, Substituter: sub}); err == nil {
+		t.Error("Open with mismatched substituter succeeded")
+	}
+	if _, err := Open(Options{MasterKey: master, Order: 32, Store: st}); err != nil {
+		t.Errorf("Open with matching config failed: %v", err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	tr, err := Open(Options{MasterKey: bytes.Repeat([]byte{0x77}, 32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := []byte(fmt.Sprintf("g%d-k%d", g, i))
+				if err := tr.Put(k, k); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, ok, err := tr.Get(k); err != nil || !ok || !bytes.Equal(v, k) {
+					t.Errorf("Get(%s) = (%q, %v, %v)", k, v, ok, err)
+					return
+				}
+				if i%3 == 0 {
+					if _, err := tr.Delete(k); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
