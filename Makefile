@@ -1,8 +1,13 @@
 GO ?= go
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build vet test race bench clean
+BENCH_PKGS = ./internal/btree/ ./pkg/ekbtree/
+BENCH_NOTE ?= local run
 
-all: vet build test
+.PHONY: all build vet fmt-check test race bench bench-raw clean
+
+all: vet fmt-check build test
 
 build:
 	$(GO) build ./...
@@ -10,14 +15,23 @@ build:
 vet:
 	$(GO) vet ./...
 
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
+# bench regenerates BENCH_btree.json-style output on stdout; redirect to
+# refresh the checked-in file:  make bench BENCH_NOTE="PR N: ..." > BENCH_btree.json
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem ./internal/btree/ ./pkg/ekbtree/
+	@$(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS) | $(GO) run ./tools/benchjson -note "$(BENCH_NOTE)"
+
+# bench-raw prints the unprocessed go test -bench output.
+bench-raw:
+	$(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS)
 
 clean:
 	$(GO) clean ./...

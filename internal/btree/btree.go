@@ -465,6 +465,33 @@ func (tr *Tree) scan(id uint64, from, to []byte, fn func(key, value []byte) bool
 	return true, nil
 }
 
+// Entry is one key/value pair collected from the tree. Both slices are fresh
+// copies owned by the caller; they never alias node buffers.
+type Entry struct {
+	Key   []byte
+	Value []byte
+}
+
+// CollectRange collects up to max entries with from <= key < to in ascending
+// (substituted) key order, copying keys and values into fresh buffers. When
+// afterFrom is set the lower bound is exclusive (from < key), which lets a
+// cursor resume after the last key of a previous batch. Nil bounds are
+// unbounded; max <= 0 collects the whole range.
+func (tr *Tree) CollectRange(from, to []byte, afterFrom bool, max int) ([]Entry, error) {
+	var out []Entry
+	err := tr.ScanRange(from, to, func(k, v []byte) bool {
+		if afterFrom && from != nil && bytes.Equal(k, from) {
+			return true
+		}
+		out = append(out, Entry{
+			Key:   append([]byte(nil), k...),
+			Value: append([]byte(nil), v...),
+		})
+		return max <= 0 || len(out) < max
+	})
+	return out, err
+}
+
 // Stats describes tree shape, for diagnostics and benchmarks.
 type Stats struct {
 	Keys   int

@@ -328,6 +328,66 @@ func TestScanRange(t *testing.T) {
 	}
 }
 
+// TestCollectRange checks batched entry collection: inclusive/exclusive
+// lower bounds, the max cap, buffer freshness, and resumption across batches
+// reassembling a full scan.
+func TestCollectRange(t *testing.T) {
+	tr, _ := newTestTree(t, 2)
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := tr.Put(key(i), key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ents, err := tr.CollectRange(key(10), key(15), false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 5 || !bytes.Equal(ents[0].Key, key(10)) || !bytes.Equal(ents[4].Key, key(14)) {
+		t.Fatalf("CollectRange inclusive = %d entries [%x..]", len(ents), ents[0].Key)
+	}
+
+	ents, err = tr.CollectRange(key(10), key(15), true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 4 || !bytes.Equal(ents[0].Key, key(11)) {
+		t.Fatalf("CollectRange exclusive = %d entries starting %x", len(ents), ents[0].Key)
+	}
+
+	ents, err = tr.CollectRange(nil, nil, false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 7 {
+		t.Fatalf("CollectRange max=7 returned %d entries", len(ents))
+	}
+
+	// Resuming after each batch's last key reassembles the full ordered scan.
+	var all []Entry
+	var from []byte
+	for {
+		batch, err := tr.CollectRange(from, nil, from != nil, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, batch...)
+		if len(batch) < 9 {
+			break
+		}
+		from = batch[len(batch)-1].Key
+	}
+	if len(all) != n {
+		t.Fatalf("resumed collection visited %d entries, want %d", len(all), n)
+	}
+	for i, e := range all {
+		if !bytes.Equal(e.Key, key(i)) {
+			t.Fatalf("resumed collection out of order at %d", i)
+		}
+	}
+}
+
 // TestRandomizedOps fuzzes interleaved put/get/delete against a reference map
 // and checks structural invariants throughout.
 func TestRandomizedOps(t *testing.T) {

@@ -14,6 +14,9 @@ import (
 // ErrNotFound is returned when a page ID has never been written or was freed.
 var ErrNotFound = errors.New("store: page not found")
 
+// ErrClosed is returned by every operation on a closed store.
+var ErrClosed = errors.New("store: closed")
+
 // NoRoot is the root pointer value meaning "empty tree". Page IDs returned by
 // Alloc are always > NoRoot.
 const NoRoot uint64 = 0
@@ -62,7 +65,7 @@ func (m *Mem) ReadPage(id uint64) ([]byte, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if m.closed {
-		return nil, errClosed()
+		return nil, ErrClosed
 	}
 	p, ok := m.pages[id]
 	if !ok {
@@ -75,7 +78,7 @@ func (m *Mem) WritePage(id uint64, page []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return errClosed()
+		return ErrClosed
 	}
 	m.pages[id] = append([]byte(nil), page...)
 	return nil
@@ -93,7 +96,7 @@ func (m *Mem) Free(id uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return errClosed()
+		return ErrClosed
 	}
 	if _, ok := m.pages[id]; !ok {
 		return fmt.Errorf("%w: page %d", ErrNotFound, id)
@@ -106,7 +109,7 @@ func (m *Mem) Root() (uint64, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if m.closed {
-		return NoRoot, errClosed()
+		return NoRoot, ErrClosed
 	}
 	return m.root, nil
 }
@@ -115,7 +118,7 @@ func (m *Mem) SetRoot(id uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return errClosed()
+		return ErrClosed
 	}
 	m.root = id
 	return nil
@@ -125,7 +128,7 @@ func (m *Mem) Meta() ([]byte, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if m.closed {
-		return nil, errClosed()
+		return nil, ErrClosed
 	}
 	return append([]byte(nil), m.meta...), nil
 }
@@ -134,7 +137,7 @@ func (m *Mem) SetMeta(meta []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return errClosed()
+		return ErrClosed
 	}
 	m.meta = append([]byte(nil), meta...)
 	return nil
@@ -166,5 +169,3 @@ func (m *Mem) Snapshot() map[uint64][]byte {
 	}
 	return out
 }
-
-func errClosed() error { return errors.New("store: closed") }

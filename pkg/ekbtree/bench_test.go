@@ -74,7 +74,8 @@ func BenchmarkGetParallel(b *testing.B) {
 	})
 }
 
-// BenchmarkScan measures a full ordered scan of a 10k-key tree.
+// BenchmarkScan measures a full ordered scan of a 10k-key tree through the
+// callback wrapper (which now rides on a Cursor underneath).
 func BenchmarkScan(b *testing.B) {
 	tr := benchTree(b)
 	defer tr.Close()
@@ -93,6 +94,160 @@ func BenchmarkScan(b *testing.B) {
 		}
 		if count != 10_000 {
 			b.Fatalf("scan visited %d", count)
+		}
+	}
+}
+
+// BenchmarkScanCursor measures the same full scan driven directly through the
+// pull-based Cursor API.
+func BenchmarkScanCursor(b *testing.B) {
+	tr := benchTree(b)
+	defer tr.Close()
+	rng := rand.New(rand.NewSource(42))
+	value := make([]byte, 64)
+	for i := 0; i < 10_000; i++ {
+		if err := tr.Put(benchKey(rng, i), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := tr.Cursor()
+		count := 0
+		for ok := c.First(); ok; ok = c.Next() {
+			count++
+		}
+		if err := c.Err(); err != nil {
+			b.Fatal(err)
+		}
+		c.Close()
+		if count != 10_000 {
+			b.Fatalf("cursor visited %d", count)
+		}
+	}
+}
+
+// BenchmarkPutUnbatched measures single-key Puts of fresh keys into a
+// pre-populated 10k-key tree: the per-operation seal/encode cost the Batch
+// API amortizes away.
+func BenchmarkPutUnbatched(b *testing.B) {
+	tr := benchTree(b)
+	defer tr.Close()
+	rng := rand.New(rand.NewSource(42))
+	value := make([]byte, 64)
+	for i := 0; i < 10_000; i++ {
+		if err := tr.Put(benchKey(rng, i), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Put(benchKey(rng, 10_000+i), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPutBatched measures the same workload staged through Batches of
+// 256 puts, so each touched page is sealed once per commit instead of once
+// per put. ns/op is still per individual put.
+func BenchmarkPutBatched(b *testing.B) {
+	tr := benchTree(b)
+	defer tr.Close()
+	rng := rand.New(rand.NewSource(42))
+	value := make([]byte, 64)
+	for i := 0; i < 10_000; i++ {
+		if err := tr.Put(benchKey(rng, i), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const batchSize = 256
+	b.ResetTimer()
+	i := 0
+	for i < b.N {
+		batch := tr.NewBatch()
+		for j := 0; j < batchSize && i < b.N; j++ {
+			if err := batch.Put(benchKey(rng, 10_000+i), value); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+		if err := batch.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSeqTree builds a tree over a fully order-preserving substituter, so
+// sequential keys land in adjacent leaves and batched ingest can amortize
+// page seals. With the default PRF substituter every key is scattered to a
+// random leaf and batching cannot exploit locality (see BenchmarkPutBatched).
+func benchSeqTree(b *testing.B) *Tree {
+	b.Helper()
+	sub, err := NewBucketedSubstituter(bytes.Repeat([]byte{0x9A}, 32), 16, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nc, err := NewAESGCMCipher(bytes.Repeat([]byte{0x9B}, 32))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := Open(Options{Substituter: sub, Cipher: nc})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func seqKey(i int) []byte {
+	k := make([]byte, 8)
+	binary.BigEndian.PutUint64(k, uint64(i))
+	return k
+}
+
+// BenchmarkPutSeqUnbatched measures sorted ingest one Put at a time: every
+// insert re-seals the rightmost leaf and its split path.
+func BenchmarkPutSeqUnbatched(b *testing.B) {
+	tr := benchSeqTree(b)
+	defer tr.Close()
+	value := make([]byte, 64)
+	for i := 0; i < 10_000; i++ {
+		if err := tr.Put(seqKey(i), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Put(seqKey(10_000+i), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPutSeqBatched measures the same sorted ingest in 256-put batches:
+// each hot leaf is sealed once per commit instead of once per insert.
+func BenchmarkPutSeqBatched(b *testing.B) {
+	tr := benchSeqTree(b)
+	defer tr.Close()
+	value := make([]byte, 64)
+	for i := 0; i < 10_000; i++ {
+		if err := tr.Put(seqKey(i), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const batchSize = 256
+	b.ResetTimer()
+	i := 0
+	for i < b.N {
+		batch := tr.NewBatch()
+		for j := 0; j < batchSize && i < b.N; j++ {
+			if err := batch.Put(seqKey(10_000+i), value); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+		if err := batch.Commit(); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,0 +1,181 @@
+package ekbtree
+
+import (
+	"bytes"
+
+	"github.com/paper-repro/ekbtree/internal/btree"
+	"github.com/paper-repro/ekbtree/internal/keysub"
+)
+
+// cursorBatch is the number of entries a cursor snapshots per lock
+// acquisition. Larger batches amortize tree descent and locking; smaller
+// batches bound memory and shorten reader-held lock windows.
+const cursorBatch = 256
+
+// Cursor iterates a tree's entries in ascending substituted-key order.
+//
+// A cursor pulls entries in batches: it takes the tree's read lock, collects
+// and decrypts up to cursorBatch entries of the relevant leaf range into a
+// private snapshot, and releases the lock before returning control. Caller
+// code therefore never runs while the tree lock is held — a cursor loop may
+// freely call back into the same Tree (Get, Put, even another Cursor).
+//
+// Because the snapshot is per batch, iteration is not a point-in-time view of
+// the whole tree: entries mutated behind the cursor's position are not
+// revisited, and entries inserted ahead of it may or may not be observed.
+// Each individual batch is internally consistent.
+//
+// A Cursor is not safe for concurrent use by multiple goroutines.
+//
+// The typical loop:
+//
+//	c := tr.Cursor()
+//	defer c.Close()
+//	for ok := c.First(); ok; ok = c.Next() {
+//		use(c.Key(), c.Value())
+//	}
+//	if err := c.Err(); err != nil { ... }
+type Cursor struct {
+	t      *Tree
+	lo, hi []byte // substituted bounds: lo inclusive, hi exclusive; nil = unbounded
+
+	buf    []btree.Entry
+	i      int
+	more   bool // entries may remain beyond buf
+	valid  bool // positioned on an entry
+	err    error
+	closed bool
+}
+
+// Cursor returns a cursor over the whole tree. Position it with First or
+// Seek before reading; Close it when done.
+func (t *Tree) Cursor() *Cursor {
+	return &Cursor{t: t}
+}
+
+// CursorRange returns a cursor over the substituted range covering the
+// plaintext bounds [fromKey, toKey). Bounds are mapped exactly as in
+// ScanRange: with a range-capable substituter (e.g. the bucketed one) they
+// expand to whole boundary buckets, so the cursor visits a superset of the
+// plaintext range; with a pure-PRF substituter they are substituted pointwise
+// and the range bears no relation to plaintext order. A nil bound is
+// unbounded on that side.
+func (t *Tree) CursorRange(fromKey, toKey []byte) *Cursor {
+	lo, hi := t.substituteBounds(fromKey, toKey)
+	return &Cursor{t: t, lo: lo, hi: hi}
+}
+
+// substituteBounds maps plaintext range bounds to substituted bounds,
+// preferring the substituter's superset-of-range expansion when available.
+func (t *Tree) substituteBounds(fromKey, toKey []byte) (lo, hi []byte) {
+	if rs, ok := t.sub.(keysub.RangeSubstituter); ok {
+		return rs.SubstituteRange(fromKey, toKey)
+	}
+	if fromKey != nil {
+		lo = t.sub.Substitute(fromKey)
+	}
+	if toKey != nil {
+		hi = t.sub.Substitute(toKey)
+	}
+	return lo, hi
+}
+
+// First positions the cursor on the first entry of its range, reporting
+// whether one exists. It may be called again at any time to restart.
+func (c *Cursor) First() bool {
+	return c.fill(c.lo, false)
+}
+
+// Seek positions the cursor on the first entry at or after the substituted
+// lower bound of the plaintext key, reporting whether one exists. With a
+// bucketed substituter the bound is the start of key's bucket, so iteration
+// from Seek covers every entry >= key in plaintext order plus possibly
+// earlier entries sharing key's bucket (the same superset contract as
+// CursorRange). With a pure-PRF substituter the bound is key's pointwise
+// substitution and the position is meaningless in plaintext order. Seeking
+// below the cursor's lower bound clamps to it.
+func (c *Cursor) Seek(key []byte) bool {
+	from, _ := c.t.substituteBounds(key, nil)
+	if c.lo != nil && (from == nil || bytes.Compare(from, c.lo) < 0) {
+		from = c.lo
+	}
+	return c.fill(from, false)
+}
+
+// Next advances to the following entry, reporting whether one exists.
+func (c *Cursor) Next() bool {
+	if !c.valid {
+		return false
+	}
+	if c.i+1 < len(c.buf) {
+		c.i++
+		return true
+	}
+	if !c.more {
+		c.valid = false
+		return false
+	}
+	return c.fill(c.buf[len(c.buf)-1].Key, true)
+}
+
+// fill snapshots the next batch of entries starting at from (exclusive when
+// afterFrom) and positions the cursor on its first entry.
+func (c *Cursor) fill(from []byte, afterFrom bool) bool {
+	c.buf, c.i, c.valid = nil, 0, false
+	if c.closed {
+		c.err = ErrClosed
+		return false
+	}
+	c.t.mu.RLock()
+	if c.t.closed {
+		c.t.mu.RUnlock()
+		c.err = ErrClosed
+		return false
+	}
+	ents, err := c.t.bt.CollectRange(from, c.hi, afterFrom, cursorBatch)
+	c.t.mu.RUnlock()
+	if err != nil {
+		c.err = mapErr(err)
+		return false
+	}
+	c.err = nil
+	c.buf = ents
+	c.more = len(ents) == cursorBatch
+	c.valid = len(ents) > 0
+	return c.valid
+}
+
+// Key returns the current entry's substituted key (the plaintext key is not
+// recoverable from the tree). The slice is a fresh copy owned by the caller
+// and remains valid after the cursor advances or closes. Key returns nil when
+// the cursor is not positioned on an entry.
+func (c *Cursor) Key() []byte {
+	if !c.valid {
+		return nil
+	}
+	return c.buf[c.i].Key
+}
+
+// Value returns the current entry's value, with the same ownership contract
+// as Key.
+func (c *Cursor) Value() []byte {
+	if !c.valid {
+		return nil
+	}
+	return c.buf[c.i].Value
+}
+
+// Err returns the first error the cursor encountered, or nil. Exhausting the
+// range is not an error.
+func (c *Cursor) Err() error {
+	return c.err
+}
+
+// Close releases the cursor. Subsequent positioning calls fail with
+// ErrClosed. Close is idempotent and never fails; it returns an error only
+// to satisfy the common io.Closer-style calling pattern.
+func (c *Cursor) Close() error {
+	c.closed = true
+	c.buf, c.valid = nil, false
+	return nil
+}

@@ -1,0 +1,330 @@
+package ekbtree
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func mustOpen(t *testing.T, opts Options) *Tree {
+	t.Helper()
+	tr, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestCursorFullIteration inserts enough random keys to force several refill
+// batches and checks the cursor visits every entry exactly once, in ascending
+// substituted-key order, agreeing with Scan.
+func TestCursorFullIteration(t *testing.T) {
+	tr := mustOpen(t, Options{MasterKey: bytes.Repeat([]byte{0xA1}, 32), Order: 8})
+	defer tr.Close()
+
+	const n = 3 * cursorBatch // force at least three fills
+	for i := 0; i < n; i++ {
+		k := make([]byte, 16)
+		if _, err := rand.Read(k); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Put(k, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var fromScan [][]byte
+	if err := tr.Scan(func(sk, _ []byte) bool {
+		fromScan = append(fromScan, append([]byte(nil), sk...))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	c := tr.Cursor()
+	defer c.Close()
+	var fromCursor [][]byte
+	for ok := c.First(); ok; ok = c.Next() {
+		fromCursor = append(fromCursor, c.Key())
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fromCursor) != n {
+		t.Fatalf("cursor visited %d entries, want %d", len(fromCursor), n)
+	}
+	if !sort.SliceIsSorted(fromCursor, func(i, j int) bool {
+		return bytes.Compare(fromCursor[i], fromCursor[j]) < 0
+	}) {
+		t.Error("cursor not in ascending substituted-key order")
+	}
+	for i := range fromCursor {
+		if !bytes.Equal(fromCursor[i], fromScan[i]) {
+			t.Fatalf("cursor and Scan diverge at %d", i)
+		}
+	}
+}
+
+func TestCursorEmptyTree(t *testing.T) {
+	tr := mustOpen(t, Options{MasterKey: bytes.Repeat([]byte{0xA2}, 32)})
+	defer tr.Close()
+	c := tr.Cursor()
+	defer c.Close()
+	if c.First() {
+		t.Error("First on empty tree reported an entry")
+	}
+	if c.Next() {
+		t.Error("Next on empty tree reported an entry")
+	}
+	if c.Key() != nil || c.Value() != nil {
+		t.Error("unpositioned cursor returned non-nil Key/Value")
+	}
+	if err := c.Err(); err != nil {
+		t.Errorf("Err on empty tree = %v", err)
+	}
+}
+
+// bucketedTree builds a tree over an order-preserving substituter with keys
+// "aa".."zz", returning the tree and a substituted→plaintext map.
+func bucketedTree(t *testing.T) (*Tree, map[string]string) {
+	t.Helper()
+	sub, err := NewBucketedSubstituter(bytes.Repeat([]byte{0xA3}, 32), 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := NewAESGCMCipher(bytes.Repeat([]byte{0xA4}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := mustOpen(t, Options{Substituter: sub, Cipher: nc, Order: 4})
+	subToPlain := make(map[string]string)
+	for a := byte('a'); a <= 'z'; a++ {
+		for b := byte('a'); b <= 'z'; b++ {
+			k := string([]byte{a, b})
+			subToPlain[string(sub.Substitute([]byte(k)))] = k
+			if err := tr.Put([]byte(k), []byte(k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return tr, subToPlain
+}
+
+// TestCursorRangeMatchesScanRange checks that CursorRange and ScanRange
+// visit the same entries for the same plaintext bounds.
+func TestCursorRangeMatchesScanRange(t *testing.T) {
+	tr, subToPlain := bucketedTree(t)
+	defer tr.Close()
+
+	var fromScan []string
+	if err := tr.ScanRange([]byte("ca"), []byte("fm"), func(sk, _ []byte) bool {
+		fromScan = append(fromScan, subToPlain[string(sk)])
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	c := tr.CursorRange([]byte("ca"), []byte("fm"))
+	defer c.Close()
+	var fromCursor []string
+	for ok := c.First(); ok; ok = c.Next() {
+		fromCursor = append(fromCursor, subToPlain[string(c.Key())])
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fromCursor) == 0 {
+		t.Fatal("cursor range visited nothing")
+	}
+	if fmt.Sprint(fromCursor) != fmt.Sprint(fromScan) {
+		t.Errorf("CursorRange visited %v, ScanRange visited %v", fromCursor, fromScan)
+	}
+}
+
+// TestCursorSeekBucketed checks Seek's superset contract with an
+// order-preserving substituter: iterating from Seek(k) yields every plaintext
+// key >= k (bucket boundaries may add earlier keys from k's bucket, never
+// drop later ones).
+func TestCursorSeekBucketed(t *testing.T) {
+	tr, subToPlain := bucketedTree(t)
+	defer tr.Close()
+
+	c := tr.Cursor()
+	defer c.Close()
+	seen := make(map[string]bool)
+	for ok := c.Seek([]byte("mh")); ok; ok = c.Next() {
+		seen[subToPlain[string(c.Key())]] = true
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for k := range subToPlain {
+		plain := subToPlain[k]
+		if plain >= "mh" && !seen[plain] {
+			t.Errorf("Seek dropped in-range key %q", plain)
+		}
+		// 16-bit buckets over 2-byte keys are exact, so nothing before the
+		// seek key's bucket should appear.
+		if plain < "mh" && seen[plain] {
+			t.Errorf("Seek visited key %q before the seek bucket", plain)
+		}
+	}
+
+	// Re-seek backwards on the same cursor restarts from the earlier bucket.
+	count := 0
+	for ok := c.Seek([]byte("ya")); ok; ok = c.Next() {
+		count++
+	}
+	if count != 2*26 {
+		t.Errorf("Seek(ya) visited %d entries, want %d", count, 2*26)
+	}
+}
+
+// TestCursorRangeClampsSeek checks that seeking below a bounded cursor's
+// lower bound clamps to the bound rather than escaping the range.
+func TestCursorRangeClampsSeek(t *testing.T) {
+	tr, subToPlain := bucketedTree(t)
+	defer tr.Close()
+	c := tr.CursorRange([]byte("fa"), []byte("ha"))
+	defer c.Close()
+	if !c.Seek([]byte("aa")) {
+		t.Fatal("Seek below range found nothing")
+	}
+	if got := subToPlain[string(c.Key())]; got != "fa" {
+		t.Errorf("Seek below range positioned at %q, want %q", got, "fa")
+	}
+}
+
+// TestScanReentrancy is the acceptance check that caller code never runs
+// under the tree lock: the Scan callback re-enters the tree with Get, Put,
+// and a nested cursor, and verifies via TryLock that no lock is held.
+func TestScanReentrancy(t *testing.T) {
+	tr := mustOpen(t, Options{MasterKey: bytes.Repeat([]byte{0xA5}, 32), Order: 8})
+	defer tr.Close()
+	for i := 0; i < 100; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	calls := 0
+	err := tr.Scan(func(_, _ []byte) bool {
+		calls++
+		if calls > 1 {
+			return true // re-enter only on the first callback; keep the test fast
+		}
+		if !tr.mu.TryLock() {
+			t.Fatal("tree lock held during Scan callback")
+		}
+		tr.mu.Unlock()
+		if _, _, err := tr.Get([]byte("k005")); err != nil {
+			t.Fatalf("Get inside Scan callback: %v", err)
+		}
+		if err := tr.Put([]byte("reentrant"), []byte("yes")); err != nil {
+			t.Fatalf("Put inside Scan callback: %v", err)
+		}
+		inner := tr.Cursor()
+		defer inner.Close()
+		if !inner.First() {
+			t.Fatal("nested cursor found nothing")
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("Scan visited nothing")
+	}
+	if v, ok, err := tr.Get([]byte("reentrant")); err != nil || !ok || string(v) != "yes" {
+		t.Fatalf("reentrant Put not visible: (%q, %v, %v)", v, ok, err)
+	}
+}
+
+// TestCursorClosed pins the ErrClosed behavior of closed cursors and closed
+// trees.
+func TestCursorClosed(t *testing.T) {
+	tr := mustOpen(t, Options{MasterKey: bytes.Repeat([]byte{0xA6}, 32)})
+	if err := tr.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	c := tr.Cursor()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.First() {
+		t.Error("First on closed cursor reported an entry")
+	}
+	if !errors.Is(c.Err(), ErrClosed) {
+		t.Errorf("closed cursor Err = %v, want ErrClosed", c.Err())
+	}
+
+	c2 := tr.Cursor()
+	defer c2.Close()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c2.First() {
+		t.Error("First on cursor over closed tree reported an entry")
+	}
+	if !errors.Is(c2.Err(), ErrClosed) {
+		t.Errorf("cursor over closed tree Err = %v, want ErrClosed", c2.Err())
+	}
+}
+
+// TestCursorConcurrentWithWrites iterates while other goroutines mutate the
+// tree; exercised under -race in CI. The cursor must never error, repeat, or
+// go backwards.
+func TestCursorConcurrentWithWrites(t *testing.T) {
+	tr := mustOpen(t, Options{MasterKey: bytes.Repeat([]byte{0xA7}, 32), Order: 8})
+	defer tr.Close()
+	for i := 0; i < 2000; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("seed%05d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := []byte(fmt.Sprintf("w%d-%05d", g, i))
+				if err := tr.Put(k, k); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := tr.Delete([]byte(fmt.Sprintf("seed%05d", (g*500+i)%2000))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	for iter := 0; iter < 5; iter++ {
+		c := tr.Cursor()
+		var prev []byte
+		for ok := c.First(); ok; ok = c.Next() {
+			if prev != nil && bytes.Compare(c.Key(), prev) <= 0 {
+				t.Fatal("cursor went backwards under concurrent writes")
+			}
+			prev = c.Key()
+		}
+		if err := c.Err(); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	close(stop)
+	wg.Wait()
+}

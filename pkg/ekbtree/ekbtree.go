@@ -7,7 +7,7 @@
 //
 //	caller ── plaintext key, value
 //	   │
-//	pkg/ekbtree        façade: substitute key, serialize access
+//	pkg/ekbtree        façade: substitute key, serialize access, cache nodes
 //	   │
 //	internal/keysub    key substitution (HMAC PRF / bucketed order-preserving)
 //	   │
@@ -18,6 +18,21 @@
 //	internal/cipher    page encipherment (AES-GCM)
 //	   │
 //	internal/store     page store: sealed pages only
+//
+// # Byte-slice ownership
+//
+// Every []byte argument to a façade method (keys, values, bounds) is treated
+// as read-only for the duration of the call and is copied before anything the
+// engine retains; callers keep ownership and may reuse or mutate their
+// buffers as soon as the call returns. Every []byte the façade returns (Get
+// values, Cursor keys and values, Scan callback arguments) is a fresh copy
+// owned by the receiver; retaining or mutating it never affects the tree.
+//
+// # Errors
+//
+// Façade methods return nil or an error matching one of the package's
+// sentinel errors (ErrClosed, ErrTooLarge, ErrWrongKey, ErrConfigMismatch,
+// ErrCorrupt, ErrInvalidOptions) under errors.Is.
 package ekbtree
 
 import (
@@ -51,6 +66,51 @@ type Options struct {
 	Cipher cipher.NodeCipher
 	// Store is the backing page store. Nil means a fresh in-memory store.
 	Store store.PageStore
+	// CachePages caps the decoded-node cache that serves repeated reads and
+	// batch staging. Zero means DefaultCachePages; negative disables the
+	// cache entirely (every access re-reads, deciphers, and decodes).
+	CachePages int
+}
+
+// validate checks opts and resolves every layer, returning the effective
+// order, substituter, cipher, store, and cache size. All validation of an
+// Options value is consolidated here; errors wrap ErrInvalidOptions.
+func (o Options) validate() (order int, sub keysub.Substituter, nc cipher.NodeCipher, st store.PageStore, cachePages int, err error) {
+	order = o.Order
+	if order == 0 {
+		order = DefaultOrder
+	}
+	if order < 4 || order%2 != 0 {
+		return 0, nil, nil, nil, 0, fmt.Errorf("%w: order %d must be even and >= 4", ErrInvalidOptions, order)
+	}
+	sub, nc = o.Substituter, o.Cipher
+	if sub == nil || nc == nil {
+		if len(o.MasterKey) < 16 {
+			return 0, nil, nil, nil, 0, fmt.Errorf("%w: master key must be at least 16 bytes", ErrInvalidOptions)
+		}
+		if sub == nil {
+			if sub, err = keysub.NewHMAC(deriveKey(o.MasterKey, "ekbtree/keysub"), 24); err != nil {
+				return 0, nil, nil, nil, 0, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+			}
+		}
+		if nc == nil {
+			if nc, err = cipher.NewAESGCM(deriveKey(o.MasterKey, "ekbtree/cipher")); err != nil {
+				return 0, nil, nil, nil, 0, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+			}
+		}
+	}
+	st = o.Store
+	if st == nil {
+		st = store.NewMem()
+	}
+	cachePages = o.CachePages
+	switch {
+	case cachePages == 0:
+		cachePages = DefaultCachePages
+	case cachePages < 0:
+		cachePages = 0
+	}
+	return order, sub, nc, st, cachePages, nil
 }
 
 // deriveKey computes a labeled subkey of master, so the substitution secret
@@ -63,53 +123,31 @@ func deriveKey(master []byte, label string) []byte {
 
 // Tree is an enciphered B-tree. All methods are safe for concurrent use.
 type Tree struct {
-	mu  sync.RWMutex
-	sub keysub.Substituter
-	bt  *btree.Tree
-	st  store.PageStore
+	mu     sync.RWMutex
+	sub    keysub.Substituter
+	bt     *btree.Tree
+	st     store.PageStore
+	io     *nodeIO
+	closed bool
 }
 
 // Open builds a tree from opts. Reopening an existing store requires the same
-// substituter and cipher keys it was written with.
+// substituter and cipher keys it was written with: a wrong cipher key fails
+// with ErrWrongKey, a mismatched order or scheme with ErrConfigMismatch.
 func Open(opts Options) (*Tree, error) {
-	order := opts.Order
-	if order == 0 {
-		order = DefaultOrder
-	}
-	if order < 4 || order%2 != 0 {
-		return nil, fmt.Errorf("ekbtree: order %d must be even and >= 4", order)
-	}
-	sub := opts.Substituter
-	nc := opts.Cipher
-	if sub == nil || nc == nil {
-		if len(opts.MasterKey) < 16 {
-			return nil, fmt.Errorf("ekbtree: master key must be at least 16 bytes")
-		}
-		if sub == nil {
-			var err error
-			if sub, err = keysub.NewHMAC(deriveKey(opts.MasterKey, "ekbtree/keysub"), 24); err != nil {
-				return nil, err
-			}
-		}
-		if nc == nil {
-			var err error
-			if nc, err = cipher.NewAESGCM(deriveKey(opts.MasterKey, "ekbtree/cipher")); err != nil {
-				return nil, err
-			}
-		}
-	}
-	st := opts.Store
-	if st == nil {
-		st = store.NewMem()
-	}
-	if err := checkHeader(st, nc, sub, order); err != nil {
-		return nil, err
-	}
-	bt, err := btree.New(&nodeIO{st: st, nc: nc}, order/2)
+	order, sub, nc, st, cachePages, err := opts.validate()
 	if err != nil {
 		return nil, err
 	}
-	return &Tree{sub: sub, bt: bt, st: st}, nil
+	if err := checkHeader(st, nc, sub, order); err != nil {
+		return nil, mapErr(err)
+	}
+	io := newNodeIO(st, nc, cachePages)
+	bt, err := btree.New(io, order/2)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{sub: sub, bt: bt, st: st, io: io}, nil
 }
 
 // metaPageID is the pseudo page ID binding the sealed header; real page IDs
@@ -135,37 +173,93 @@ func checkHeader(st store.PageStore, nc cipher.NodeCipher, sub keysub.Substitute
 	}
 	got, err := nc.Open(metaPageID, meta)
 	if err != nil {
-		return fmt.Errorf("ekbtree: cannot open store header (wrong key or corrupted store): %w", err)
+		return fmt.Errorf("%w: cannot open store header: %v", ErrWrongKey, err)
 	}
 	if string(got) != want {
-		return fmt.Errorf("ekbtree: store was written with %q, opened with %q", got, want)
+		return fmt.Errorf("%w: store was written with %q, opened with %q", ErrConfigMismatch, got, want)
 	}
 	return nil
 }
 
-// Put stores value under key, replacing any existing value.
+// substituteKey maps a plaintext key to its substituted form, defensively
+// copying the result so buffers the tree retains never alias memory a custom
+// Substituter might share with the caller, and validating that it fits the
+// page encoding.
+func (t *Tree) substituteKey(key []byte) ([]byte, error) {
+	sk := append([]byte(nil), t.sub.Substitute(key)...)
+	if len(sk) > node.MaxKeyLen {
+		return nil, fmt.Errorf("%w: substituted key is %d bytes, limit %d", ErrTooLarge, len(sk), node.MaxKeyLen)
+	}
+	return sk, nil
+}
+
+// checkValueSize validates that a value fits the page encoding.
+func checkValueSize(value []byte) error {
+	if int64(len(value)) > node.MaxValueLen {
+		return fmt.Errorf("%w: value is %d bytes, limit %d", ErrTooLarge, len(value), int64(node.MaxValueLen))
+	}
+	return nil
+}
+
+// Put stores value under key, replacing any existing value. Both slices are
+// copied; the caller keeps ownership.
 func (t *Tree) Put(key, value []byte) error {
-	sk := t.sub.Substitute(key)
+	sk, err := t.substituteKey(key)
+	if err != nil {
+		return err
+	}
+	if err := checkValueSize(value); err != nil {
+		return err
+	}
 	v := append([]byte(nil), value...)
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.bt.Put(sk, v)
+	if t.closed {
+		return ErrClosed
+	}
+	if err := t.bt.Put(sk, v); err != nil {
+		t.io.invalidate()
+		return mapErr(err)
+	}
+	return nil
 }
 
-// Get returns the value stored under key.
+// Get returns the value stored under key. The returned slice is a fresh copy
+// owned by the caller.
 func (t *Tree) Get(key []byte) ([]byte, bool, error) {
 	sk := t.sub.Substitute(key)
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.bt.Get(sk)
+	if t.closed {
+		return nil, false, ErrClosed
+	}
+	v, ok, err := t.bt.Get(sk)
+	if err != nil {
+		return nil, false, mapErr(err)
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), v...), true, nil
 }
 
 // Delete removes key, reporting whether it was present.
 func (t *Tree) Delete(key []byte) (bool, error) {
-	sk := t.sub.Substitute(key)
+	sk, err := t.substituteKey(key)
+	if err != nil {
+		return false, err
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.bt.Delete(sk)
+	if t.closed {
+		return false, ErrClosed
+	}
+	ok, err := t.bt.Delete(sk)
+	if err != nil {
+		t.io.invalidate()
+		return ok, mapErr(err)
+	}
+	return ok, nil
 }
 
 // Scan visits every entry in ascending substituted-key order, stopping early
@@ -174,92 +268,60 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 // plaintext order at bucket granularity. The subKey passed to fn is the
 // substituted key — the plaintext key is not recoverable from the tree.
 //
-// fn runs with the tree's lock held and must not call any method of this
-// Tree, or it will deadlock.
+// Scan is a thin wrapper over Cursor: fn runs without the tree's lock held
+// and may call any method of this Tree, including mutations. Iteration is
+// therefore not a point-in-time snapshot; see Cursor for the exact
+// consistency contract. The slices passed to fn are fresh copies owned by
+// the callback.
 func (t *Tree) Scan(fn func(subKey, value []byte) bool) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.bt.Scan(fn)
+	return t.cursorScan(t.Cursor(), fn)
 }
 
 // ScanRange visits entries whose substituted keys fall in [fromKey, toKey) in
-// ascending substituted-key order. The bounds are plaintext keys. With a
-// range-capable substituter (e.g. the bucketed one) the traversal covers
-// whole boundary buckets, so it visits a superset of the plaintext range —
-// every key in [fromKey, toKey) plus possibly others sharing a boundary
-// bucket. With a pure-PRF substituter the bounds are substituted pointwise
-// and the scanned interval bears no relation to plaintext order. A nil bound
-// is unbounded on that side.
+// ascending substituted-key order. The bounds are plaintext keys, mapped as
+// in CursorRange: with a range-capable substituter (e.g. the bucketed one)
+// the traversal covers whole boundary buckets, so it visits a superset of the
+// plaintext range — every key in [fromKey, toKey) plus possibly others
+// sharing a boundary bucket. With a pure-PRF substituter the bounds are
+// substituted pointwise and the scanned interval bears no relation to
+// plaintext order. A nil bound is unbounded on that side.
 //
-// fn runs with the tree's lock held and must not call any method of this
-// Tree, or it will deadlock.
+// Like Scan, fn runs without the tree's lock held and may re-enter the Tree.
 func (t *Tree) ScanRange(fromKey, toKey []byte, fn func(subKey, value []byte) bool) error {
-	var from, to []byte
-	if rs, ok := t.sub.(keysub.RangeSubstituter); ok {
-		from, to = rs.SubstituteRange(fromKey, toKey)
-	} else {
-		if fromKey != nil {
-			from = t.sub.Substitute(fromKey)
-		}
-		if toKey != nil {
-			to = t.sub.Substitute(toKey)
+	return t.cursorScan(t.CursorRange(fromKey, toKey), fn)
+}
+
+func (t *Tree) cursorScan(c *Cursor, fn func(subKey, value []byte) bool) error {
+	defer c.Close()
+	for ok := c.First(); ok; ok = c.Next() {
+		if !fn(c.Key(), c.Value()) {
+			return nil
 		}
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.bt.ScanRange(from, to, fn)
+	return c.Err()
 }
 
 // Stats reports tree shape (key count, node count, height).
 func (t *Tree) Stats() (btree.Stats, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.bt.Stats()
+	if t.closed {
+		return btree.Stats{}, ErrClosed
+	}
+	s, err := t.bt.Stats()
+	return s, mapErr(err)
 }
 
-// Close releases the underlying store.
+// Close releases the underlying store. After Close every method of the tree
+// (and any open Cursor on it) returns ErrClosed; closing twice returns
+// ErrClosed as well.
 func (t *Tree) Close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.st.Close()
-}
-
-// nodeIO adapts a PageStore + NodeCipher into the btree layer's NodeStore:
-// every node write is encoded then sealed, every read is opened then decoded,
-// so the store only ever holds enciphered pages.
-type nodeIO struct {
-	st store.PageStore
-	nc cipher.NodeCipher
-}
-
-func (io *nodeIO) Read(id uint64) (*node.Node, error) {
-	page, err := io.st.ReadPage(id)
-	if err != nil {
-		return nil, err
+	if t.closed {
+		return ErrClosed
 	}
-	pt, err := io.nc.Open(id, page)
-	if err != nil {
-		return nil, err
-	}
-	return node.Decode(pt)
+	t.closed = true
+	t.io.invalidate()
+	return mapErr(t.st.Close())
 }
-
-func (io *nodeIO) Write(id uint64, n *node.Node) error {
-	pt, err := n.Encode()
-	if err != nil {
-		return err
-	}
-	page, err := io.nc.Seal(id, pt)
-	if err != nil {
-		return err
-	}
-	return io.st.WritePage(id, page)
-}
-
-func (io *nodeIO) Alloc() uint64 { return io.st.Alloc() }
-
-func (io *nodeIO) Free(id uint64) error { return io.st.Free(id) }
-
-func (io *nodeIO) Root() (uint64, error) { return io.st.Root() }
-
-func (io *nodeIO) SetRoot(id uint64) error { return io.st.SetRoot(id) }

@@ -3,6 +3,7 @@ package ekbtree
 import (
 	"bytes"
 	"crypto/rand"
+	"errors"
 	"fmt"
 	mrand "math/rand"
 	"sort"
@@ -325,8 +326,8 @@ func TestReopen(t *testing.T) {
 
 	// The sealed store header makes a wrong master key fail at Open.
 	wrong := bytes.Repeat([]byte{0x67}, 32)
-	if _, err := Open(Options{MasterKey: wrong, Store: st}); err == nil {
-		t.Error("Open with wrong master key succeeded")
+	if _, err := Open(Options{MasterKey: wrong, Store: st}); !errors.Is(err, ErrWrongKey) {
+		t.Errorf("Open with wrong master key = %v, want ErrWrongKey", err)
 	}
 }
 
@@ -338,15 +339,15 @@ func TestReopenConfigMismatch(t *testing.T) {
 	if _, err := Open(Options{MasterKey: master, Order: 32, Store: st}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(Options{MasterKey: master, Order: 8, Store: st}); err == nil {
-		t.Error("Open with mismatched order succeeded")
+	if _, err := Open(Options{MasterKey: master, Order: 8, Store: st}); !errors.Is(err, ErrConfigMismatch) {
+		t.Errorf("Open with mismatched order = %v, want ErrConfigMismatch", err)
 	}
 	sub, err := keysub.NewHMAC(master, 16) // differs from derived width 24
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(Options{MasterKey: master, Order: 32, Store: st, Substituter: sub}); err == nil {
-		t.Error("Open with mismatched substituter succeeded")
+	if _, err := Open(Options{MasterKey: master, Order: 32, Store: st, Substituter: sub}); !errors.Is(err, ErrConfigMismatch) {
+		t.Errorf("Open with mismatched substituter = %v, want ErrConfigMismatch", err)
 	}
 	if _, err := Open(Options{MasterKey: master, Order: 32, Store: st}); err != nil {
 		t.Errorf("Open with matching config failed: %v", err)

@@ -1,0 +1,69 @@
+package ekbtree
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/paper-repro/ekbtree/internal/cipher"
+	"github.com/paper-repro/ekbtree/internal/node"
+	"github.com/paper-repro/ekbtree/internal/store"
+)
+
+// Sentinel errors returned by the façade. All façade methods return either
+// nil or an error matching exactly one of these via errors.Is; the dynamic
+// message may carry additional detail.
+var (
+	// ErrClosed is returned by any operation on a closed Tree, and by
+	// Cursor/Batch operations after Close, Commit, or Discard.
+	ErrClosed = errors.New("ekbtree: closed")
+
+	// ErrTooLarge is returned when a value, or a substituted key produced by
+	// a custom Substituter, exceeds the page encoding's size limits.
+	ErrTooLarge = errors.New("ekbtree: key or value too large")
+
+	// ErrWrongKey is returned by Open when the store's sealed header cannot
+	// be deciphered — the cipher key differs from the one the store was
+	// written with (or the header itself was tampered with).
+	ErrWrongKey = errors.New("ekbtree: wrong key for existing store")
+
+	// ErrConfigMismatch is returned by Open when the header deciphers but
+	// records a different order or substituter/cipher scheme than the one
+	// being opened.
+	ErrConfigMismatch = errors.New("ekbtree: store configuration mismatch")
+
+	// ErrCorrupt is returned when a page fails authentication or decoding
+	// after the header has already been verified, or when the tree references
+	// a page the store no longer holds.
+	ErrCorrupt = errors.New("ekbtree: corrupted store")
+
+	// ErrInvalidOptions is returned by Open for an Options value that cannot
+	// describe a tree (bad order, short master key, missing layers).
+	ErrInvalidOptions = errors.New("ekbtree: invalid options")
+)
+
+// mapErr translates internal-layer errors into the façade's sentinel
+// taxonomy. Errors already carrying a façade sentinel pass through untouched.
+func mapErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrTooLarge),
+		errors.Is(err, ErrWrongKey), errors.Is(err, ErrConfigMismatch),
+		errors.Is(err, ErrCorrupt), errors.Is(err, ErrInvalidOptions):
+		return err
+	case errors.Is(err, store.ErrClosed):
+		return ErrClosed
+	case errors.Is(err, store.ErrNotFound):
+		// The tree referenced a page the store has no record of: a dangling
+		// pointer, i.e. structural corruption.
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	case errors.Is(err, cipher.ErrOpen):
+		// The header already authenticated at Open, so a later page that
+		// fails to open means tampering or corruption, not a wrong key.
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	case errors.Is(err, node.ErrDecode):
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	default:
+		return err
+	}
+}

@@ -1,0 +1,245 @@
+package ekbtree
+
+import (
+	"errors"
+	"sync"
+
+	"github.com/paper-repro/ekbtree/internal/cipher"
+	"github.com/paper-repro/ekbtree/internal/node"
+	"github.com/paper-repro/ekbtree/internal/store"
+)
+
+// DefaultCachePages is the default capacity of the decoded-node cache.
+const DefaultCachePages = 256
+
+// nodeIO adapts a PageStore + NodeCipher into the btree layer's NodeStore:
+// every node write is encoded then sealed, every read is opened then decoded,
+// so the store only ever holds enciphered pages.
+//
+// On top of the plain adaptation it keeps a bounded write-through cache of
+// decoded nodes, so repeated reads of hot pages (root, upper levels) skip the
+// read→open→decode round trip, and it supports a batch mode in which writes
+// are staged decoded in memory and each touched page is encoded and sealed
+// exactly once at commit, instead of once per mutation.
+//
+// Locking: the Tree's RWMutex already serializes writers against readers, but
+// concurrent readers may race on the cache map itself, so the cache has its
+// own mutex. Cached *node.Node values are only mutated by the btree layer
+// under the Tree's exclusive lock, and all reads of node contents happen
+// under at least the Tree's read lock, so sharing decoded nodes between the
+// cache and the btree layer is race-free.
+type nodeIO struct {
+	st store.PageStore
+	nc cipher.NodeCipher
+
+	mu       sync.Mutex
+	cache    map[uint64]*node.Node // clean decoded pages, bounded by maxCache
+	maxCache int                   // 0 disables the cache
+
+	// Batch mode (begin/commit/abort are called under the Tree's exclusive
+	// lock). staged holds dirty decoded pages; nothing below reaches the
+	// store until commitBatch.
+	batching    bool
+	staged      map[uint64]*node.Node
+	freed       map[uint64]bool
+	pendingRoot *uint64
+}
+
+func newNodeIO(st store.PageStore, nc cipher.NodeCipher, maxCache int) *nodeIO {
+	io := &nodeIO{st: st, nc: nc, maxCache: maxCache}
+	if maxCache > 0 {
+		io.cache = make(map[uint64]*node.Node, maxCache)
+	}
+	return io
+}
+
+func (io *nodeIO) Read(id uint64) (*node.Node, error) {
+	io.mu.Lock()
+	if io.batching {
+		if n, ok := io.staged[id]; ok {
+			io.mu.Unlock()
+			return n, nil
+		}
+	}
+	if n, ok := io.cache[id]; ok {
+		io.mu.Unlock()
+		return n, nil
+	}
+	io.mu.Unlock()
+
+	// Miss: decode outside io.mu so concurrent readers decipher in parallel.
+	page, err := io.st.ReadPage(id)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := io.nc.Open(id, page)
+	if err != nil {
+		return nil, err
+	}
+	n, err := node.Decode(pt)
+	if err != nil {
+		return nil, err
+	}
+	io.mu.Lock()
+	io.cacheInsert(id, n)
+	io.mu.Unlock()
+	return n, nil
+}
+
+func (io *nodeIO) Write(id uint64, n *node.Node) error {
+	io.mu.Lock()
+	defer io.mu.Unlock()
+	if io.batching {
+		io.staged[id] = n
+		delete(io.cache, id)
+		return nil
+	}
+	if err := io.sealAndWrite(id, n); err != nil {
+		// The store may now hold a stale page; drop any cached copy so a
+		// later read observes the store's truth, not our intent.
+		delete(io.cache, id)
+		return err
+	}
+	io.cacheInsert(id, n)
+	return nil
+}
+
+// sealAndWrite encodes, seals, and stores one node. Callers hold io.mu.
+func (io *nodeIO) sealAndWrite(id uint64, n *node.Node) error {
+	pt, err := n.Encode()
+	if err != nil {
+		return err
+	}
+	page, err := io.nc.Seal(id, pt)
+	if err != nil {
+		return err
+	}
+	return io.st.WritePage(id, page)
+}
+
+// cacheInsert stores a clean decoded node, evicting an arbitrary entry if the
+// cache is full. Callers hold io.mu.
+func (io *nodeIO) cacheInsert(id uint64, n *node.Node) {
+	if io.cache == nil {
+		return
+	}
+	if _, ok := io.cache[id]; !ok && len(io.cache) >= io.maxCache {
+		for evict := range io.cache {
+			delete(io.cache, evict)
+			break
+		}
+	}
+	io.cache[id] = n
+}
+
+func (io *nodeIO) Alloc() uint64 { return io.st.Alloc() }
+
+func (io *nodeIO) Free(id uint64) error {
+	io.mu.Lock()
+	defer io.mu.Unlock()
+	delete(io.cache, id)
+	if io.batching {
+		delete(io.staged, id)
+		io.freed[id] = true
+		return nil
+	}
+	return io.st.Free(id)
+}
+
+func (io *nodeIO) Root() (uint64, error) {
+	io.mu.Lock()
+	if io.batching && io.pendingRoot != nil {
+		id := *io.pendingRoot
+		io.mu.Unlock()
+		return id, nil
+	}
+	io.mu.Unlock()
+	return io.st.Root()
+}
+
+func (io *nodeIO) SetRoot(id uint64) error {
+	io.mu.Lock()
+	if io.batching {
+		io.pendingRoot = &id
+		io.mu.Unlock()
+		return nil
+	}
+	io.mu.Unlock()
+	return io.st.SetRoot(id)
+}
+
+// invalidate empties the decoded-node cache. The façade calls it whenever a
+// mutation fails partway, since the btree layer mutates decoded nodes in
+// place before writing them and an aborted operation may leave cached nodes
+// ahead of the store.
+func (io *nodeIO) invalidate() {
+	io.mu.Lock()
+	defer io.mu.Unlock()
+	if io.cache != nil {
+		io.cache = make(map[uint64]*node.Node, io.maxCache)
+	}
+}
+
+// beginBatch enters batch mode: subsequent writes stage decoded nodes in
+// memory and root updates are deferred. Called under the Tree's exclusive
+// lock.
+func (io *nodeIO) beginBatch() {
+	io.mu.Lock()
+	defer io.mu.Unlock()
+	io.batching = true
+	io.staged = make(map[uint64]*node.Node)
+	io.freed = make(map[uint64]bool)
+	io.pendingRoot = nil
+}
+
+// commitBatch leaves batch mode, sealing and writing each staged page exactly
+// once, then publishing the deferred root, then freeing pages released during
+// the batch. On error the batch is aborted and the cache invalidated.
+func (io *nodeIO) commitBatch() error {
+	io.mu.Lock()
+	defer io.mu.Unlock()
+	for id, n := range io.staged {
+		if err := io.sealAndWrite(id, n); err != nil {
+			io.abortLocked()
+			return err
+		}
+	}
+	if io.pendingRoot != nil {
+		if err := io.st.SetRoot(*io.pendingRoot); err != nil {
+			io.abortLocked()
+			return err
+		}
+	}
+	for id := range io.freed {
+		// A page allocated and merged away within the same batch was never
+		// written to the store; ErrNotFound is expected for it.
+		if err := io.st.Free(id); err != nil && !errors.Is(err, store.ErrNotFound) {
+			io.abortLocked()
+			return err
+		}
+	}
+	// Promote staged nodes to the clean cache: they now match the store.
+	for id, n := range io.staged {
+		io.cacheInsert(id, n)
+	}
+	io.batching = false
+	io.staged, io.freed, io.pendingRoot = nil, nil, nil
+	return nil
+}
+
+// abortBatch discards all staged state and invalidates the cache, leaving
+// the store exactly as it was before beginBatch (modulo Alloc'd IDs, which
+// are never reused anyway).
+func (io *nodeIO) abortBatch() {
+	io.mu.Lock()
+	defer io.mu.Unlock()
+	io.abortLocked()
+}
+
+func (io *nodeIO) abortLocked() {
+	io.batching = false
+	io.staged, io.freed, io.pendingRoot = nil, nil, nil
+	if io.cache != nil {
+		io.cache = make(map[uint64]*node.Node, io.maxCache)
+	}
+}

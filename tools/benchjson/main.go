@@ -1,0 +1,122 @@
+// Command benchjson converts `go test -bench` output on stdin into the JSON
+// shape recorded in BENCH_btree.json, so `make bench` regenerates the file
+// reproducibly:
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./tools/benchjson -note "..."
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type result struct {
+	Pkg         string  `json:"pkg"`
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	Date       string   `json:"date"`
+	CommitNote string   `json:"commit_note"`
+	Goos       string   `json:"goos"`
+	Goarch     string   `json:"goarch"`
+	CPU        string   `json:"cpu"`
+	Command    string   `json:"command"`
+	Results    []result `json:"results"`
+	Notes      string   `json:"notes,omitempty"`
+}
+
+func main() {
+	note := flag.String("note", "", "commit_note for the report")
+	notes := flag.String("notes", "", "free-form notes appended to the report")
+	command := flag.String("command", "make bench", "command recorded in the report")
+	flag.Parse()
+
+	rep := report{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		CommitNote: *note,
+		Goos:       runtime.GOOS,
+		Goarch:     runtime.GOARCH,
+		Command:    *command,
+		Notes:      *notes,
+	}
+
+	// go test emits `pkg: <import path>` before each package's benchmarks and
+	// `cpu: <model>` once per package; benchmark lines look like:
+	//	BenchmarkPutGet-8   37824   32172 ns/op   59877 B/op   340 allocs/op
+	var pkg string
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			// Shorten module-qualified paths to their repo-relative form.
+			if i := strings.Index(pkg, "/internal/"); i >= 0 {
+				pkg = pkg[i+1:]
+			} else if i := strings.Index(pkg, "/pkg/"); i >= 0 {
+				pkg = pkg[i+1:]
+			}
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		// Expect: name iters value ns/op [value B/op value allocs/op]
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		r := result{Pkg: pkg}
+		// Strip the trailing -GOMAXPROCS suffix from the benchmark name.
+		r.Name = fields[0]
+		if i := strings.LastIndex(r.Name, "-"); i > 0 {
+			if _, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+				r.Name = r.Name[:i]
+			}
+		}
+		var err error
+		if r.Iters, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				r.NsPerOp, _ = strconv.ParseFloat(val, 64)
+			case "B/op":
+				r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			}
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
