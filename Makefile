@@ -18,11 +18,16 @@ vet:
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# The façade suite runs twice: once over the in-memory backend and once over
+# the crash-safe file backend (EKBTREE_BACKEND=file repoints the default
+# store; see pkg/ekbtree/main_test.go).
 test:
 	$(GO) test ./...
+	EKBTREE_BACKEND=file $(GO) test ./pkg/...
 
 race:
 	$(GO) test -race ./...
+	EKBTREE_BACKEND=file $(GO) test -race ./pkg/...
 
 # bench regenerates BENCH_btree.json-style output on stdout; redirect to
 # refresh the checked-in file:  make bench BENCH_NOTE="PR N: ..." > BENCH_btree.json

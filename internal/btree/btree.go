@@ -19,7 +19,7 @@ import (
 type NodeStore interface {
 	Read(id uint64) (*node.Node, error)
 	Write(id uint64, n *node.Node) error
-	Alloc() uint64
+	Alloc() (uint64, error)
 	Free(id uint64) error
 	Root() (uint64, error)
 	SetRoot(id uint64) error
@@ -82,7 +82,10 @@ func (tr *Tree) Put(key, value []byte) error {
 		return err
 	}
 	if rootID == store.NoRoot {
-		id := tr.st.Alloc()
+		id, err := tr.st.Alloc()
+		if err != nil {
+			return err
+		}
 		n := &node.Node{Leaf: true, Keys: [][]byte{key}, Values: [][]byte{value}}
 		if err := tr.st.Write(id, n); err != nil {
 			return err
@@ -94,7 +97,10 @@ func (tr *Tree) Put(key, value []byte) error {
 		return err
 	}
 	if len(root.Keys) == tr.maxKeys() {
-		newRootID := tr.st.Alloc()
+		newRootID, err := tr.st.Alloc()
+		if err != nil {
+			return err
+		}
 		newRoot := &node.Node{Leaf: false, Children: []uint64{rootID}}
 		if err := tr.splitChild(newRootID, newRoot, 0); err != nil {
 			return err
@@ -119,7 +125,10 @@ func (tr *Tree) splitChild(pid uint64, p *node.Node, i int) error {
 	if len(c.Keys) != tr.maxKeys() {
 		return fmt.Errorf("btree: splitting non-full node %d", childID)
 	}
-	sibID := tr.st.Alloc()
+	sibID, err := tr.st.Alloc()
+	if err != nil {
+		return err
+	}
 	sib := &node.Node{
 		Leaf:   c.Leaf,
 		Keys:   append([][]byte(nil), c.Keys[t:]...),
@@ -477,19 +486,29 @@ type Entry struct {
 // afterFrom is set the lower bound is exclusive (from < key), which lets a
 // cursor resume after the last key of a previous batch. Nil bounds are
 // unbounded; max <= 0 collects the whole range.
-func (tr *Tree) CollectRange(from, to []byte, afterFrom bool, max int) ([]Entry, error) {
+//
+// The returned more flag reports whether entries remain in the range beyond
+// the ones returned: the scan looks one entry past max, so a range holding
+// exactly max entries comes back with more == false and the caller never
+// needs a follow-up descent to discover exhaustion.
+func (tr *Tree) CollectRange(from, to []byte, afterFrom bool, max int) ([]Entry, bool, error) {
 	var out []Entry
+	more := false
 	err := tr.ScanRange(from, to, func(k, v []byte) bool {
 		if afterFrom && from != nil && bytes.Equal(k, from) {
 			return true
+		}
+		if max > 0 && len(out) == max {
+			more = true
+			return false
 		}
 		out = append(out, Entry{
 			Key:   append([]byte(nil), k...),
 			Value: append([]byte(nil), v...),
 		})
-		return max <= 0 || len(out) < max
+		return true
 	})
-	return out, err
+	return out, more, err
 }
 
 // Stats describes tree shape, for diagnostics and benchmarks.

@@ -41,10 +41,10 @@ func (m *memNodes) Write(id uint64, n *node.Node) error {
 	return nil
 }
 
-func (m *memNodes) Alloc() uint64 {
+func (m *memNodes) Alloc() (uint64, error) {
 	id := m.next
 	m.next++
-	return id
+	return id, nil
 }
 
 func (m *memNodes) Free(id uint64) error {
@@ -340,40 +340,63 @@ func TestCollectRange(t *testing.T) {
 		}
 	}
 
-	ents, err := tr.CollectRange(key(10), key(15), false, 0)
+	ents, more, err := tr.CollectRange(key(10), key(15), false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ents) != 5 || !bytes.Equal(ents[0].Key, key(10)) || !bytes.Equal(ents[4].Key, key(14)) {
 		t.Fatalf("CollectRange inclusive = %d entries [%x..]", len(ents), ents[0].Key)
 	}
+	if more {
+		t.Error("unbounded CollectRange reported more entries")
+	}
 
-	ents, err = tr.CollectRange(key(10), key(15), true, 0)
+	ents, more, err = tr.CollectRange(key(10), key(15), true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ents) != 4 || !bytes.Equal(ents[0].Key, key(11)) {
 		t.Fatalf("CollectRange exclusive = %d entries starting %x", len(ents), ents[0].Key)
 	}
+	if more {
+		t.Error("unbounded exclusive CollectRange reported more entries")
+	}
 
-	ents, err = tr.CollectRange(nil, nil, false, 7)
+	ents, more, err = tr.CollectRange(nil, nil, false, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ents) != 7 {
 		t.Fatalf("CollectRange max=7 returned %d entries", len(ents))
 	}
+	if !more {
+		t.Error("capped CollectRange with entries remaining reported more=false")
+	}
 
-	// Resuming after each batch's last key reassembles the full ordered scan.
+	// A range holding exactly max entries reports exhaustion immediately: no
+	// follow-up call is needed to discover the end.
+	ents, more, err = tr.CollectRange(key(10), key(15), false, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 5 || more {
+		t.Fatalf("exact-fit CollectRange = %d entries, more=%v; want 5, false", len(ents), more)
+	}
+
+	// Resuming after each batch's last key reassembles the full ordered scan,
+	// with the more flag going false exactly on the final batch.
 	var all []Entry
 	var from []byte
 	for {
-		batch, err := tr.CollectRange(from, nil, from != nil, 9)
+		batch, more, err := tr.CollectRange(from, nil, from != nil, 9)
 		if err != nil {
 			t.Fatal(err)
 		}
 		all = append(all, batch...)
-		if len(batch) < 9 {
+		if !more {
+			if len(all) != n {
+				t.Fatalf("more went false after %d of %d entries", len(all), n)
+			}
 			break
 		}
 		from = batch[len(batch)-1].Key

@@ -1,0 +1,667 @@
+// Package file implements a crash-safe, file-backed PageStore using shadow
+// paging. The paper's engine only ever hands the store opaque sealed pages,
+// so everything in this file is structural metadata — page IDs, offsets,
+// lengths, checksums — plus the façade's already-sealed header blob; no key
+// material or plaintext ever reaches the page file.
+//
+// # Layout
+//
+//	offset 0    magic + format version            (written once, at creation)
+//	offset 64   meta slot 0 ┐ ping-pong commit slots: txid, root, next page
+//	offset 192  meta slot 1 ┘ ID, directory extent + CRCs, slot CRC
+//	offset 512  data region: sealed pages and directory blobs, addressed by
+//	            extents (offset, length)
+//
+// Logical page IDs are stable for the life of a page — the B-tree layers
+// above reference children by logical ID — and the directory maps each
+// logical ID to the physical extent currently holding its bytes. The
+// directory blob also carries the persistent free-extent list and the
+// façade's sealed engine header.
+//
+// # Shadow paging
+//
+// A commit NEVER overwrites an extent referenced by the durable directory.
+// CommitPages writes every incoming page to a fresh extent (reusing only
+// extents on the durable free list, which by construction nothing durable
+// references), writes a new directory blob to another fresh extent, fsyncs,
+// and then flips the commit point: it writes the inactive meta slot with an
+// incremented transaction ID and fsyncs again. Extents released by a commit
+// (old versions of overwritten pages, freed pages, the previous directory)
+// enter the free list recorded in the NEW directory, so they become
+// allocatable only after the flip that made them garbage is durable.
+//
+// Open reads both slots, keeps the valid one with the highest transaction
+// ID whose directory passes its CRC, and needs no replay: a crash at any
+// byte of a commit loses a suffix of that commit's writes, all of which
+// landed in extents the surviving slot does not reference. A torn slot
+// write fails the slot CRC and Open falls back to the other slot.
+//
+// The one non-atomic window is file creation itself: initialization writes
+// the first directory and slot, fsyncs, then writes the magic header and
+// fsyncs again, so a file whose magic is present always has a valid slot 0.
+// A crash before the magic is durable leaves a file Open treats as fresh and
+// re-initializes.
+package file
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"github.com/paper-repro/ekbtree/internal/store"
+)
+
+// ErrCorrupt is returned by Open when the file is not a valid ekbtree page
+// file: bad magic, or no meta slot with a directory that passes its checksum.
+// An interrupted commit never produces ErrCorrupt — the previous slot stays
+// valid — so seeing it means external damage (or a crash inside the narrow
+// first-creation window, before any data existed).
+var ErrCorrupt = errors.New("file: corrupt page file")
+
+// ErrFailed is returned by every mutating operation after a commit failed at
+// or beyond its meta-slot write. Past that point the slot's durability is
+// indeterminate: a stale higher-txid slot may be on disk, and a further
+// commit reusing the failed commit's extents could hand that stale slot a
+// torn state to point at after a crash. Reads keep working from the last
+// known-durable state; reopening the file recovers (Open lands on whichever
+// of the pre- or post-commit states is durable) and clears the condition.
+var ErrFailed = errors.New("file: store failed mid-commit, reopen to recover")
+
+const (
+	magic      = "EKBTPG\r\n" // 8 bytes; \r\n catches ASCII-mode transfer mangling
+	slot0Off   = 64
+	slot1Off   = 192
+	slotSize   = 48
+	dataStart  = 512
+	pageEntLen = 20 // id(8) + off(8) + len(4)
+	freeEntLen = 12 // off(8) + len(4)
+)
+
+// File is the random-access backing-file contract the store needs; *os.File
+// satisfies it. Tests substitute fault-injecting wrappers to prove commit
+// atomicity at every write boundary.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Sync() error
+	Close() error
+}
+
+// extent is a contiguous byte range in the data region.
+type extent struct {
+	off int64
+	len uint32
+}
+
+func (e extent) end() int64 { return e.off + int64(e.len) }
+
+// slotData is one decoded meta slot.
+type slotData struct {
+	txid   uint64
+	root   uint64
+	nextID uint64
+	dir    extent
+	dirCRC uint32
+}
+
+// Store is a file-backed PageStore. All methods are safe for concurrent use;
+// reads proceed concurrently, commits serialize.
+type Store struct {
+	mu      sync.RWMutex
+	f       File
+	pages   map[uint64]extent // logical page ID -> durable extent
+	free    []extent          // durably free extents, allocatable now
+	meta    []byte
+	root    uint64
+	nextID  uint64
+	txid    uint64
+	cur     int    // index (0/1) of the slot holding the durable state
+	dirExt  extent // extent of the durable directory blob
+	fileEnd int64  // append frontier: no durable extent ends beyond this
+	failed  bool   // a commit died at/after its slot write; mutations refused
+	closed  bool
+}
+
+// Open opens or creates the page file at path.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("file: %w", err)
+	}
+	s, err := OpenWith(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenWith opens a store over an already-open backing file, for tests that
+// inject fault-wrapped files. The store takes ownership of f.
+func OpenWith(f File) (*Store, error) {
+	hdr := make([]byte, dataStart)
+	n, err := f.ReadAt(hdr, 0)
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("file: read header: %w", err)
+	}
+	_ = n // bytes past n stay zero, which the checks below treat as unwritten
+	magicZero := allZero(hdr[:len(magic)])
+	if !magicZero && string(hdr[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	s0, ok0 := parseSlot(hdr[slot0Off : slot0Off+slotSize])
+	s1, ok1 := parseSlot(hdr[slot1Off : slot1Off+slotSize])
+	if magicZero {
+		if !ok0 && !ok1 {
+			// Nothing durable exists: a genuinely fresh file, or a crash
+			// during creation before the first slot landed.
+			return initialize(f)
+		}
+		// The magic is gone but a meta slot survived — external damage to
+		// the header prefix (or a creation crash between the slot sync and
+		// the magic sync). The store behind the slot is fully recoverable:
+		// open it normally and repair the magic rather than wiping it with a
+		// re-initialization.
+		if _, err := f.WriteAt([]byte(magic), 0); err != nil {
+			return nil, fmt.Errorf("file: repair magic: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return nil, fmt.Errorf("file: repair magic: %w", err)
+		}
+	}
+	// Try the valid slot with the highest txid first; fall back to the other,
+	// which covers a commit whose directory write was torn before its slot
+	// flip ever happened (the old slot still describes a complete state).
+	var tries []struct {
+		slot slotData
+		idx  int
+	}
+	if ok0 {
+		tries = append(tries, struct {
+			slot slotData
+			idx  int
+		}{s0, 0})
+	}
+	if ok1 {
+		tries = append(tries, struct {
+			slot slotData
+			idx  int
+		}{s1, 1})
+	}
+	if len(tries) == 2 && tries[1].slot.txid > tries[0].slot.txid {
+		tries[0], tries[1] = tries[1], tries[0]
+	}
+	for _, tr := range tries {
+		s, err := loadState(f, tr.slot, tr.idx)
+		if err == nil {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: no usable meta slot", ErrCorrupt)
+}
+
+// initialize lays down a fresh, empty store: directory first, then slot 0,
+// fsync, then the magic header, fsync. Ordering makes creation idempotent
+// under crashes — until the magic is durable the file reads as fresh.
+func initialize(f File) (*Store, error) {
+	s := &Store{
+		f:      f,
+		pages:  make(map[uint64]extent),
+		root:   store.NoRoot,
+		nextID: store.NoRoot + 1,
+		txid:   1,
+		cur:    0,
+	}
+	dir := make([]byte, dirSize(0, 0, 0))
+	serializeDir(dir, s.pages, nil, nil)
+	s.dirExt = extent{off: dataStart, len: uint32(len(dir))}
+	s.fileEnd = s.dirExt.end()
+	if _, err := f.WriteAt(dir, s.dirExt.off); err != nil {
+		return nil, fmt.Errorf("file: init directory: %w", err)
+	}
+	slot := serializeSlot(slotData{
+		txid: s.txid, root: s.root, nextID: s.nextID,
+		dir: s.dirExt, dirCRC: crc32.ChecksumIEEE(dir),
+	})
+	if _, err := f.WriteAt(slot, slot0Off); err != nil {
+		return nil, fmt.Errorf("file: init slot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return nil, fmt.Errorf("file: init sync: %w", err)
+	}
+	if _, err := f.WriteAt([]byte(magic), 0); err != nil {
+		return nil, fmt.Errorf("file: init magic: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return nil, fmt.Errorf("file: init sync: %w", err)
+	}
+	return s, nil
+}
+
+// loadState reads and validates the directory a slot points at, returning a
+// ready store.
+func loadState(f File, sd slotData, idx int) (*Store, error) {
+	if sd.dir.off < dataStart {
+		return nil, fmt.Errorf("%w: directory inside header region", ErrCorrupt)
+	}
+	dir := make([]byte, sd.dir.len)
+	if _, err := io.ReadFull(io.NewSectionReader(f, sd.dir.off, int64(sd.dir.len)), dir); err != nil {
+		return nil, fmt.Errorf("%w: short directory", ErrCorrupt)
+	}
+	if crc32.ChecksumIEEE(dir) != sd.dirCRC {
+		return nil, fmt.Errorf("%w: directory checksum mismatch", ErrCorrupt)
+	}
+	pages, free, meta, err := parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		f:      f,
+		pages:  pages,
+		free:   free,
+		meta:   meta,
+		root:   sd.root,
+		nextID: sd.nextID,
+		txid:   sd.txid,
+		cur:    idx,
+		dirExt: sd.dir,
+	}
+	s.fileEnd = s.dirExt.end()
+	for _, e := range pages {
+		if e.end() > s.fileEnd {
+			s.fileEnd = e.end()
+		}
+	}
+	for _, e := range free {
+		if e.end() > s.fileEnd {
+			s.fileEnd = e.end()
+		}
+	}
+	if s.fileEnd < dataStart {
+		s.fileEnd = dataStart
+	}
+	return s, nil
+}
+
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSlot decodes and checksums one meta slot. An all-zero (never written)
+// slot fails the CRC and reads as invalid.
+func parseSlot(b []byte) (slotData, bool) {
+	if crc32.ChecksumIEEE(b[:slotSize-4]) != binary.BigEndian.Uint32(b[slotSize-4:]) {
+		return slotData{}, false
+	}
+	return slotData{
+		txid:   binary.BigEndian.Uint64(b[0:]),
+		root:   binary.BigEndian.Uint64(b[8:]),
+		nextID: binary.BigEndian.Uint64(b[16:]),
+		dir: extent{
+			off: int64(binary.BigEndian.Uint64(b[24:])),
+			len: binary.BigEndian.Uint32(b[32:]),
+		},
+		dirCRC: binary.BigEndian.Uint32(b[36:]),
+	}, true
+}
+
+func serializeSlot(sd slotData) []byte {
+	b := make([]byte, slotSize)
+	binary.BigEndian.PutUint64(b[0:], sd.txid)
+	binary.BigEndian.PutUint64(b[8:], sd.root)
+	binary.BigEndian.PutUint64(b[16:], sd.nextID)
+	binary.BigEndian.PutUint64(b[24:], uint64(sd.dir.off))
+	binary.BigEndian.PutUint32(b[32:], sd.dir.len)
+	binary.BigEndian.PutUint32(b[36:], sd.dirCRC)
+	binary.BigEndian.PutUint32(b[slotSize-4:], crc32.ChecksumIEEE(b[:slotSize-4]))
+	return b
+}
+
+// dirSize returns the serialized directory size for the given entry counts.
+func dirSize(pageCount, freeCount, metaLen int) int {
+	return 4 + pageCount*pageEntLen + 4 + freeCount*freeEntLen + 4 + metaLen
+}
+
+// serializeDir writes the directory into buf, which may be longer than the
+// exact encoding; the tail stays zero (padding is covered by the CRC and
+// ignored by parseDir).
+func serializeDir(buf []byte, pages map[uint64]extent, free []extent, meta []byte) {
+	p := buf
+	binary.BigEndian.PutUint32(p, uint32(len(pages)))
+	p = p[4:]
+	for id, e := range pages {
+		binary.BigEndian.PutUint64(p[0:], id)
+		binary.BigEndian.PutUint64(p[8:], uint64(e.off))
+		binary.BigEndian.PutUint32(p[16:], e.len)
+		p = p[pageEntLen:]
+	}
+	binary.BigEndian.PutUint32(p, uint32(len(free)))
+	p = p[4:]
+	for _, e := range free {
+		binary.BigEndian.PutUint64(p[0:], uint64(e.off))
+		binary.BigEndian.PutUint32(p[8:], e.len)
+		p = p[freeEntLen:]
+	}
+	binary.BigEndian.PutUint32(p, uint32(len(meta)))
+	copy(p[4:], meta)
+}
+
+func parseDir(b []byte) (pages map[uint64]extent, free []extent, meta []byte, err error) {
+	bad := func(what string) error { return fmt.Errorf("%w: directory %s", ErrCorrupt, what) }
+	if len(b) < 4 {
+		return nil, nil, nil, bad("truncated")
+	}
+	pageCount := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	if uint64(len(b)) < uint64(pageCount)*pageEntLen {
+		return nil, nil, nil, bad("page table truncated")
+	}
+	pages = make(map[uint64]extent, pageCount)
+	for i := uint32(0); i < pageCount; i++ {
+		pages[binary.BigEndian.Uint64(b[0:])] = extent{
+			off: int64(binary.BigEndian.Uint64(b[8:])),
+			len: binary.BigEndian.Uint32(b[16:]),
+		}
+		b = b[pageEntLen:]
+	}
+	if len(b) < 4 {
+		return nil, nil, nil, bad("truncated")
+	}
+	freeCount := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	if uint64(len(b)) < uint64(freeCount)*freeEntLen {
+		return nil, nil, nil, bad("free list truncated")
+	}
+	free = make([]extent, 0, freeCount)
+	for i := uint32(0); i < freeCount; i++ {
+		free = append(free, extent{
+			off: int64(binary.BigEndian.Uint64(b[0:])),
+			len: binary.BigEndian.Uint32(b[8:]),
+		})
+		b = b[freeEntLen:]
+	}
+	if len(b) < 4 {
+		return nil, nil, nil, bad("truncated")
+	}
+	metaLen := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	if uint64(len(b)) < uint64(metaLen) {
+		return nil, nil, nil, bad("meta truncated")
+	}
+	meta = append([]byte(nil), b[:metaLen]...)
+	return pages, free, meta, nil
+}
+
+// allocExtent carves n bytes out of the available free extents (best fit, so
+// the recycled extents a steady-state workload frees keep getting reused
+// exactly instead of fragmenting larger blocks) or extends the append
+// frontier.
+func allocExtent(avail *[]extent, end *int64, n uint32) extent {
+	best := -1
+	for i, e := range *avail {
+		if e.len >= n && (best < 0 || e.len < (*avail)[best].len) {
+			best = i
+			if e.len == n {
+				break
+			}
+		}
+	}
+	if best >= 0 {
+		e := (*avail)[best]
+		got := extent{off: e.off, len: n}
+		if e.len == n {
+			*avail = append((*avail)[:best], (*avail)[best+1:]...)
+		} else {
+			(*avail)[best] = extent{off: e.off + int64(n), len: e.len - n}
+		}
+		return got
+	}
+	got := extent{off: *end, len: n}
+	*end += int64(n)
+	return got
+}
+
+// coalesce sorts extents by offset and merges adjacent ones, bounding
+// free-list (and therefore directory) growth.
+func coalesce(exts []extent) []extent {
+	if len(exts) < 2 {
+		return exts
+	}
+	sort.Slice(exts, func(i, j int) bool { return exts[i].off < exts[j].off })
+	out := exts[:1]
+	for _, e := range exts[1:] {
+		last := &out[len(out)-1]
+		if last.end() == e.off {
+			last.len += e.len
+		} else {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// commitLocked is the single durable mutation path: every write to the file
+// after initialization goes through here. It builds the post-commit state in
+// temporaries, writes pages and the new directory to fresh extents, fsyncs,
+// flips the inactive meta slot, fsyncs, and only then installs the new state
+// in memory — so on any error the in-memory view still matches the durable
+// pre-commit state and the store remains usable. Callers hold s.mu.
+func (s *Store) commitLocked(writes map[uint64][]byte, root uint64, frees []uint64, meta []byte, setMeta bool) error {
+	if s.failed {
+		return ErrFailed
+	}
+	newPages := make(map[uint64]extent, len(s.pages)+len(writes))
+	for id, e := range s.pages {
+		newPages[id] = e
+	}
+	avail := append([]extent(nil), s.free...)
+	newEnd := s.fileEnd
+	var pending []extent // extents that become free once this commit is durable
+	for _, id := range frees {
+		if e, ok := newPages[id]; ok {
+			pending = append(pending, e)
+			delete(newPages, id)
+		}
+	}
+	for id, page := range writes {
+		if e, ok := newPages[id]; ok {
+			pending = append(pending, e)
+		}
+		ext := allocExtent(&avail, &newEnd, uint32(len(page)))
+		if _, err := s.f.WriteAt(page, ext.off); err != nil {
+			return fmt.Errorf("file: write page %d: %w", id, err)
+		}
+		newPages[id] = ext
+	}
+	newMeta := s.meta
+	if setMeta {
+		newMeta = append([]byte(nil), meta...)
+	}
+	// Size the new directory before allocating its extent: the allocation can
+	// only shrink the free list (remove or split an entry), so counting the
+	// current avail plus everything pending is an upper bound, and the blob is
+	// padded to the allocated size.
+	ubFree := len(avail) + len(pending)
+	if s.dirExt.len > 0 {
+		ubFree++
+	}
+	dirExt := allocExtent(&avail, &newEnd, uint32(dirSize(len(newPages), ubFree, len(newMeta))))
+	newFree := append(append([]extent(nil), avail...), pending...)
+	if s.dirExt.len > 0 {
+		newFree = append(newFree, s.dirExt) // the old directory's own extent
+	}
+	newFree = coalesce(newFree)
+	// Retreat the append frontier over a trailing free extent, so space freed
+	// at the end of the file is reclaimed rather than carried as a free entry
+	// forever.
+	if len(newFree) > 0 && newFree[len(newFree)-1].end() == newEnd {
+		newEnd = newFree[len(newFree)-1].off
+		newFree = newFree[:len(newFree)-1]
+	}
+	dir := make([]byte, dirExt.len)
+	serializeDir(dir, newPages, newFree, newMeta)
+	if _, err := s.f.WriteAt(dir, dirExt.off); err != nil {
+		return fmt.Errorf("file: write directory: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("file: sync data: %w", err)
+	}
+	slot := serializeSlot(slotData{
+		txid: s.txid + 1, root: root, nextID: s.nextID,
+		dir: dirExt, dirCRC: crc32.ChecksumIEEE(dir),
+	})
+	slotOff := int64(slot0Off)
+	if s.cur == 0 {
+		slotOff = slot1Off
+	}
+	// From the slot write onward, a failure leaves the flip's durability
+	// indeterminate: the inactive slot may now hold a valid, higher-txid
+	// record of this commit on disk. Allowing further commits from the
+	// in-memory pre-commit state would reuse this commit's extents while
+	// that stale slot still points at them — a crash before the next flip
+	// would then open a torn state. Refuse all further mutations instead;
+	// reopening resolves the ambiguity by reading what's actually durable.
+	if _, err := s.f.WriteAt(slot, slotOff); err != nil {
+		s.failed = true
+		return fmt.Errorf("file: write meta slot (%w): %v", ErrFailed, err)
+	}
+	if err := s.f.Sync(); err != nil {
+		s.failed = true
+		return fmt.Errorf("file: sync meta slot (%w): %v", ErrFailed, err)
+	}
+	// The flip is durable: install the post-commit state.
+	s.pages, s.free, s.meta, s.root = newPages, newFree, newMeta, root
+	s.txid++
+	s.cur = 1 - s.cur
+	s.dirExt = dirExt
+	s.fileEnd = newEnd
+	return nil
+}
+
+func (s *Store) ReadPage(id uint64) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, store.ErrClosed
+	}
+	e, ok := s.pages[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: page %d", store.ErrNotFound, id)
+	}
+	buf := make([]byte, e.len)
+	if _, err := s.f.ReadAt(buf, e.off); err != nil {
+		return nil, fmt.Errorf("file: read page %d: %w", id, err)
+	}
+	return buf, nil
+}
+
+func (s *Store) WritePage(id uint64, page []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return store.ErrClosed
+	}
+	return s.commitLocked(map[uint64][]byte{id: page}, s.root, nil, nil, false)
+}
+
+func (s *Store) Alloc() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return store.NoRoot, store.ErrClosed
+	}
+	id := s.nextID
+	s.nextID++
+	return id, nil
+}
+
+func (s *Store) Free(id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return store.ErrClosed
+	}
+	if _, ok := s.pages[id]; !ok {
+		return fmt.Errorf("%w: page %d", store.ErrNotFound, id)
+	}
+	return s.commitLocked(nil, s.root, []uint64{id}, nil, false)
+}
+
+func (s *Store) Root() (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return store.NoRoot, store.ErrClosed
+	}
+	return s.root, nil
+}
+
+func (s *Store) SetRoot(id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return store.ErrClosed
+	}
+	return s.commitLocked(nil, id, nil, nil, false)
+}
+
+func (s *Store) Meta() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, store.ErrClosed
+	}
+	return append([]byte(nil), s.meta...), nil
+}
+
+func (s *Store) SetMeta(meta []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return store.ErrClosed
+	}
+	return s.commitLocked(nil, s.root, nil, meta, true)
+}
+
+func (s *Store) CommitPages(writes map[uint64][]byte, root uint64, frees []uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return store.ErrClosed
+	}
+	return s.commitLocked(writes, root, frees, nil, false)
+}
+
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return store.ErrClosed
+	}
+	s.closed = true
+	return s.f.Close()
+}
+
+// Len returns the number of live logical pages, for tests and diagnostics.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pages)
+}
+
+// Txid returns the durable transaction ID, for tests and diagnostics.
+func (s *Store) Txid() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.txid
+}

@@ -29,8 +29,9 @@ type PageStore interface {
 	ReadPage(id uint64) ([]byte, error)
 	// WritePage stores the page, copying the buffer.
 	WritePage(id uint64, page []byte) error
-	// Alloc reserves a fresh page ID, never reusing a live one.
-	Alloc() uint64
+	// Alloc reserves a fresh page ID, never reusing a live one. It fails only
+	// with ErrClosed.
+	Alloc() (uint64, error)
 	// Free releases a page; subsequent reads return ErrNotFound.
 	Free(id uint64) error
 	// Root returns the current root page ID, or NoRoot for an empty tree.
@@ -42,6 +43,16 @@ type PageStore interface {
 	Meta() ([]byte, error)
 	// SetMeta durably records the metadata blob, copying the buffer.
 	SetMeta(meta []byte) error
+	// CommitPages atomically applies one write batch: it stores every page in
+	// writes (copying the buffers), records root as the new root pointer, and
+	// releases the pages in frees, all as a single all-or-nothing commit. IDs
+	// in frees that were never written are ignored (a page allocated and
+	// discarded within the same batch has nothing to release); a page ID must
+	// not appear in both writes and frees. Durable implementations must make
+	// the flip atomic against crashes: reopening the store after a failure at
+	// any point during CommitPages yields exactly the pre-commit or
+	// post-commit state, never a mix.
+	CommitPages(writes map[uint64][]byte, root uint64, frees []uint64) error
 	// Close releases resources. The store must not be used afterwards.
 	Close() error
 }
@@ -84,12 +95,15 @@ func (m *Mem) WritePage(id uint64, page []byte) error {
 	return nil
 }
 
-func (m *Mem) Alloc() uint64 {
+func (m *Mem) Alloc() (uint64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return NoRoot, ErrClosed
+	}
 	id := m.nextID
 	m.nextID++
-	return id
+	return id, nil
 }
 
 func (m *Mem) Free(id uint64) error {
@@ -140,6 +154,24 @@ func (m *Mem) SetMeta(meta []byte) error {
 		return ErrClosed
 	}
 	m.meta = append([]byte(nil), meta...)
+	return nil
+}
+
+func (m *Mem) CommitPages(writes map[uint64][]byte, root uint64, frees []uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	// In-memory writes cannot fail, so applying everything under one lock
+	// acquisition is already all-or-nothing.
+	for id, page := range writes {
+		m.pages[id] = append([]byte(nil), page...)
+	}
+	m.root = root
+	for _, id := range frees {
+		delete(m.pages, id)
+	}
 	return nil
 }
 

@@ -10,9 +10,9 @@ import (
 func TestMemReadWrite(t *testing.T) {
 	m := NewMem()
 	defer m.Close()
-	id := m.Alloc()
-	if id == NoRoot {
-		t.Fatal("Alloc returned NoRoot")
+	id, err := m.Alloc()
+	if err != nil || id == NoRoot {
+		t.Fatalf("Alloc = (%d, %v)", id, err)
 	}
 	if _, err := m.ReadPage(id); !errors.Is(err, ErrNotFound) {
 		t.Errorf("read before write = %v, want ErrNotFound", err)
@@ -42,7 +42,10 @@ func TestMemAllocUnique(t *testing.T) {
 	defer m.Close()
 	seen := make(map[uint64]bool)
 	for i := 0; i < 1000; i++ {
-		id := m.Alloc()
+		id, err := m.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if seen[id] {
 			t.Fatalf("Alloc returned duplicate id %d", id)
 		}
@@ -53,7 +56,7 @@ func TestMemAllocUnique(t *testing.T) {
 func TestMemFree(t *testing.T) {
 	m := NewMem()
 	defer m.Close()
-	id := m.Alloc()
+	id, _ := m.Alloc()
 	if err := m.Free(id); !errors.Is(err, ErrNotFound) {
 		t.Errorf("free of never-written page = %v, want ErrNotFound", err)
 	}
@@ -120,12 +123,51 @@ func TestMemClosed(t *testing.T) {
 	if err := m.SetRoot(1); err == nil {
 		t.Error("SetRoot after Close succeeded")
 	}
+	// Regression: Alloc used to ignore the closed flag and silently hand out
+	// page IDs from a dead store.
+	if id, err := m.Alloc(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Alloc after Close = (%d, %v), want ErrClosed", id, err)
+	}
+	if err := m.CommitPages(nil, NoRoot, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("CommitPages after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestMemCommitPages checks the atomic batch hook: writes, root update, and
+// frees apply together, frees of never-written pages are ignored, and the
+// stored pages do not alias caller buffers.
+func TestMemCommitPages(t *testing.T) {
+	m := NewMem()
+	defer m.Close()
+	a, _ := m.Alloc()
+	b, _ := m.Alloc()
+	ghost, _ := m.Alloc() // allocated, never written, freed in the same batch
+	if err := m.WritePage(a, []byte("old-a")); err != nil {
+		t.Fatal(err)
+	}
+	page := []byte("new-b")
+	if err := m.CommitPages(map[uint64][]byte{b: page}, b, []uint64{a, ghost}); err != nil {
+		t.Fatal(err)
+	}
+	page[0] = 'X'
+	if got, err := m.ReadPage(b); err != nil || !bytes.Equal(got, []byte("new-b")) {
+		t.Errorf("ReadPage(b) = (%q, %v), want new-b", got, err)
+	}
+	if _, err := m.ReadPage(a); !errors.Is(err, ErrNotFound) {
+		t.Errorf("freed page a readable: %v", err)
+	}
+	if root, _ := m.Root(); root != b {
+		t.Errorf("Root = %d, want %d", root, b)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1", m.Len())
+	}
 }
 
 func TestMemSnapshotIsDeepCopy(t *testing.T) {
 	m := NewMem()
 	defer m.Close()
-	id := m.Alloc()
+	id, _ := m.Alloc()
 	m.WritePage(id, []byte("original"))
 	snap := m.Snapshot()
 	snap[id][0] = 'X'
@@ -144,7 +186,11 @@ func TestMemConcurrent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
-				id := m.Alloc()
+				id, err := m.Alloc()
+				if err != nil {
+					t.Error(err)
+					return
+				}
 				if err := m.WritePage(id, []byte{byte(i)}); err != nil {
 					t.Error(err)
 					return

@@ -69,16 +69,19 @@ func (b *Batch) Len() int {
 // Commit applies all staged operations under the tree's write lock, sealing
 // each touched page once. The batch is spent either way.
 //
-// If Commit fails while applying operations (before the flush), nothing has
-// reached the store and the tree is unchanged. If the backing PageStore
-// itself fails partway through the flush, the store may be left torn —
-// staged pages overwrite live page IDs in place, so some pages may be new
-// while the root and others are old, surfacing as ErrCorrupt on later reads
-// — and a failure while freeing pages after the root was published means the
-// batch did apply despite the error; do not blindly retry a failed Commit
-// against a store whose writes can fail. The in-memory store's writes never
-// fail; true all-or-nothing commits (shadow paging, root flip as the single
-// commit point) are planned alongside the file-backed store (see ROADMAP).
+// Commit is atomic. If it fails while applying operations (before the
+// flush), nothing has reached the store and the tree is unchanged. The flush
+// itself hands every sealed page, the new root, and the freed page IDs to
+// the store's CommitPages hook in one call: the in-memory store applies it
+// under a single lock, and the file-backed store shadow-pages it — fresh
+// extents plus one fsync'd meta-slot flip — so a crash or I/O error at any
+// point leaves the store at exactly the pre- or post-commit state, never
+// torn. A failed Commit may therefore be retried: either nothing was
+// applied, or the error arrived after the commit point and the retry's
+// writes are idempotent re-puts of the same operations. The one exception is
+// a file-backed store whose commit failed at the flip itself (durability
+// indeterminate): it fails stop — further commits return an error and
+// reopening the store recovers the last durable state.
 func (b *Batch) Commit() error {
 	if b.done {
 		return ErrClosed

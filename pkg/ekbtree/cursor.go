@@ -132,7 +132,7 @@ func (c *Cursor) fill(from []byte, afterFrom bool) bool {
 		c.err = ErrClosed
 		return false
 	}
-	ents, err := c.t.bt.CollectRange(from, c.hi, afterFrom, cursorBatch)
+	ents, more, err := c.t.bt.CollectRange(from, c.hi, afterFrom, cursorBatch)
 	c.t.mu.RUnlock()
 	if err != nil {
 		c.err = mapErr(err)
@@ -140,7 +140,10 @@ func (c *Cursor) fill(from []byte, afterFrom bool) bool {
 	}
 	c.err = nil
 	c.buf = ents
-	c.more = len(ents) == cursorBatch
+	// CollectRange peeks one entry past the batch, so more is exact: a range
+	// that ends precisely on a batch boundary never costs an extra descent
+	// that would come back empty.
+	c.more = more
 	c.valid = len(ents) > 0
 	return c.valid
 }

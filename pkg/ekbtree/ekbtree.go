@@ -46,7 +46,13 @@ import (
 	"github.com/paper-repro/ekbtree/internal/keysub"
 	"github.com/paper-repro/ekbtree/internal/node"
 	"github.com/paper-repro/ekbtree/internal/store"
+	"github.com/paper-repro/ekbtree/internal/store/file"
 )
+
+// newDefaultStore builds the store used when Options specify neither Store
+// nor Path. The test suite repoints it to run the entire façade suite over
+// other backends (see TestMain).
+var newDefaultStore = func() (store.PageStore, error) { return store.NewMem(), nil }
 
 // DefaultOrder is the default B-tree order (maximum children per node).
 const DefaultOrder = 32
@@ -64,8 +70,16 @@ type Options struct {
 	Substituter keysub.Substituter
 	// Cipher overrides the derived AES-256-GCM node cipher.
 	Cipher cipher.NodeCipher
-	// Store is the backing page store. Nil means a fresh in-memory store.
+	// Store is the backing page store. Nil means Path's file-backed store
+	// when Path is set, otherwise a fresh in-memory store. Setting both
+	// Store and Path is invalid.
 	Store store.PageStore
+	// Path opens (or creates) a crash-safe file-backed store at this path.
+	// Every commit — batch or single mutation — is shadow-paged: a crash at
+	// any point leaves the file at exactly the pre- or post-commit state.
+	// Reopening requires the keys and configuration the file was written
+	// with, exactly as for any persistent store.
+	Path string
 	// CachePages caps the decoded-node cache that serves repeated reads and
 	// batch staging. Zero means DefaultCachePages; negative disables the
 	// cache entirely (every access re-reads, deciphers, and decodes).
@@ -100,8 +114,17 @@ func (o Options) validate() (order int, sub keysub.Substituter, nc cipher.NodeCi
 		}
 	}
 	st = o.Store
-	if st == nil {
-		st = store.NewMem()
+	switch {
+	case st != nil && o.Path != "":
+		return 0, nil, nil, nil, 0, fmt.Errorf("%w: Store and Path are mutually exclusive", ErrInvalidOptions)
+	case st == nil && o.Path != "":
+		if st, err = file.Open(o.Path); err != nil {
+			return 0, nil, nil, nil, 0, err
+		}
+	case st == nil:
+		if st, err = newDefaultStore(); err != nil {
+			return 0, nil, nil, nil, 0, err
+		}
 	}
 	cachePages = o.CachePages
 	switch {
@@ -133,18 +156,30 @@ type Tree struct {
 
 // Open builds a tree from opts. Reopening an existing store requires the same
 // substituter and cipher keys it was written with: a wrong cipher key fails
-// with ErrWrongKey, a mismatched order or scheme with ErrConfigMismatch.
+// with ErrWrongKey, a mismatched order or scheme with ErrConfigMismatch, and
+// a structurally damaged file (Path backend) with ErrCorrupt. Recovery of an
+// interrupted commit needs no replay: the file store's shadow-paged commit
+// leaves the last durable state directly readable.
 func Open(opts Options) (*Tree, error) {
 	order, sub, nc, st, cachePages, err := opts.validate()
 	if err != nil {
-		return nil, err
+		return nil, mapErr(err)
 	}
+	// Stores opened here (Path or default) are ours to close on failure;
+	// a caller-provided Store stays the caller's to manage.
+	ownStore := opts.Store == nil
 	if err := checkHeader(st, nc, sub, order); err != nil {
+		if ownStore {
+			st.Close()
+		}
 		return nil, mapErr(err)
 	}
 	io := newNodeIO(st, nc, cachePages)
 	bt, err := btree.New(io, order/2)
 	if err != nil {
+		if ownStore {
+			st.Close()
+		}
 		return nil, err
 	}
 	return &Tree{sub: sub, bt: bt, st: st, io: io}, nil
@@ -217,11 +252,16 @@ func (t *Tree) Put(key, value []byte) error {
 	if t.closed {
 		return ErrClosed
 	}
+	// Single mutations ride the same staged-commit path as Batch: every page
+	// the operation touches is staged decoded, then the whole set is handed
+	// to the store's atomic CommitPages, so even a multi-page split is
+	// all-or-nothing on a durable backend.
+	t.io.beginBatch()
 	if err := t.bt.Put(sk, v); err != nil {
-		t.io.invalidate()
+		t.io.abortBatch()
 		return mapErr(err)
 	}
-	return nil
+	return mapErr(t.io.commitBatch())
 }
 
 // Get returns the value stored under key. The returned slice is a fresh copy
@@ -254,10 +294,16 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 	if t.closed {
 		return false, ErrClosed
 	}
+	// Same staged-commit path as Put: merges and root collapses publish
+	// atomically or not at all.
+	t.io.beginBatch()
 	ok, err := t.bt.Delete(sk)
 	if err != nil {
-		t.io.invalidate()
-		return ok, mapErr(err)
+		t.io.abortBatch()
+		return false, mapErr(err)
+	}
+	if err := t.io.commitBatch(); err != nil {
+		return false, mapErr(err)
 	}
 	return ok, nil
 }

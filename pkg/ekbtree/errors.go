@@ -7,6 +7,7 @@ import (
 	"github.com/paper-repro/ekbtree/internal/cipher"
 	"github.com/paper-repro/ekbtree/internal/node"
 	"github.com/paper-repro/ekbtree/internal/store"
+	"github.com/paper-repro/ekbtree/internal/store/file"
 )
 
 // Sentinel errors returned by the façade. All façade methods return either
@@ -62,6 +63,12 @@ func mapErr(err error) error {
 		// fails to open means tampering or corruption, not a wrong key.
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	case errors.Is(err, node.ErrDecode):
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	case errors.Is(err, file.ErrCorrupt):
+		// The page file's structural metadata (magic, meta slots, directory
+		// checksums) failed validation at Open. An interrupted commit never
+		// produces this — shadow paging keeps the previous state intact — so
+		// it means external damage to the file.
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	default:
 		return err

@@ -4,6 +4,7 @@ import (
 	"github.com/paper-repro/ekbtree/internal/cipher"
 	"github.com/paper-repro/ekbtree/internal/keysub"
 	"github.com/paper-repro/ekbtree/internal/store"
+	"github.com/paper-repro/ekbtree/internal/store/file"
 )
 
 // The layer interfaces live in internal packages so their implementations
@@ -22,6 +23,11 @@ type (
 // NewMemStore returns a fresh in-memory page store, e.g. to share one store
 // across Open calls when testing reopen behavior.
 func NewMemStore() PageStore { return store.NewMem() }
+
+// NewFileStore opens (or creates) the crash-safe file-backed page store at
+// path. Options.Path is the usual way in; this constructor exists for callers
+// that need the store before (or without) opening a Tree over it.
+func NewFileStore(path string) (PageStore, error) { return file.Open(path) }
 
 // NewHMACSubstituter returns the pure-PRF substituter (HMAC-SHA256 truncated
 // to width bytes). Substituted-key order is unrelated to plaintext order.

@@ -1,0 +1,39 @@
+package ekbtree
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"github.com/paper-repro/ekbtree/internal/store"
+	"github.com/paper-repro/ekbtree/internal/store/file"
+)
+
+// TestMain lets the whole façade suite run unmodified against either
+// backend: with EKBTREE_BACKEND=file, every test that opens a tree without
+// an explicit Store gets a fresh crash-safe file-backed store instead of the
+// in-memory one. CI and `make test` run both.
+func TestMain(m *testing.M) {
+	switch backend := os.Getenv("EKBTREE_BACKEND"); backend {
+	case "", "mem":
+		os.Exit(m.Run())
+	case "file":
+		dir, err := os.MkdirTemp("", "ekbtree-file-backend-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "backend setup:", err)
+			os.Exit(1)
+		}
+		var n atomic.Uint64
+		newDefaultStore = func() (store.PageStore, error) {
+			return file.Open(filepath.Join(dir, fmt.Sprintf("t%d.ekb", n.Add(1))))
+		}
+		code := m.Run()
+		os.RemoveAll(dir)
+		os.Exit(code)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown EKBTREE_BACKEND %q (want mem or file)\n", backend)
+		os.Exit(1)
+	}
+}

@@ -1,7 +1,6 @@
 package ekbtree
 
 import (
-	"errors"
 	"sync"
 
 	"github.com/paper-repro/ekbtree/internal/cipher"
@@ -91,12 +90,27 @@ func (io *nodeIO) Write(id uint64, n *node.Node) error {
 	defer io.mu.Unlock()
 	if io.batching {
 		io.staged[id] = n
+		// A page freed earlier in the same batch and now re-staged is live
+		// again; leaving it in freed would make commit write it and then
+		// immediately release it, dangling every reference to it.
+		delete(io.freed, id)
 		delete(io.cache, id)
 		return nil
 	}
-	if err := io.sealAndWrite(id, n); err != nil {
-		// The store may now hold a stale page; drop any cached copy so a
-		// later read observes the store's truth, not our intent.
+	page, err := io.seal(id, n)
+	if err != nil {
+		return err
+	}
+	// Outside a batch, a single-page write is still routed through the
+	// store's atomic commit hook so a durable backend never applies it
+	// partially.
+	root, err := io.st.Root()
+	if err != nil {
+		return err
+	}
+	if err := io.st.CommitPages(map[uint64][]byte{id: page}, root, nil); err != nil {
+		// The store rejected the commit; drop any cached copy so a later
+		// read observes the store's truth, not our intent.
 		delete(io.cache, id)
 		return err
 	}
@@ -104,17 +118,13 @@ func (io *nodeIO) Write(id uint64, n *node.Node) error {
 	return nil
 }
 
-// sealAndWrite encodes, seals, and stores one node. Callers hold io.mu.
-func (io *nodeIO) sealAndWrite(id uint64, n *node.Node) error {
+// seal encodes and seals one node into a store-ready page.
+func (io *nodeIO) seal(id uint64, n *node.Node) ([]byte, error) {
 	pt, err := n.Encode()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	page, err := io.nc.Seal(id, pt)
-	if err != nil {
-		return err
-	}
-	return io.st.WritePage(id, page)
+	return io.nc.Seal(id, pt)
 }
 
 // cacheInsert stores a clean decoded node, evicting an arbitrary entry if the
@@ -132,7 +142,7 @@ func (io *nodeIO) cacheInsert(id uint64, n *node.Node) {
 	io.cache[id] = n
 }
 
-func (io *nodeIO) Alloc() uint64 { return io.st.Alloc() }
+func (io *nodeIO) Alloc() (uint64, error) { return io.st.Alloc() }
 
 func (io *nodeIO) Free(id uint64) error {
 	io.mu.Lock()
@@ -192,31 +202,48 @@ func (io *nodeIO) beginBatch() {
 	io.pendingRoot = nil
 }
 
-// commitBatch leaves batch mode, sealing and writing each staged page exactly
-// once, then publishing the deferred root, then freeing pages released during
-// the batch. On error the batch is aborted and the cache invalidated.
+// commitBatch leaves batch mode, sealing each staged page exactly once and
+// handing the whole batch — pages, root, frees — to the store's atomic
+// CommitPages hook, so a durable backend applies it all-or-nothing. On error
+// the batch is aborted and the cache invalidated; the store is untouched
+// (seal failures happen before the store sees anything, and a failed
+// CommitPages applies nothing by contract).
 func (io *nodeIO) commitBatch() error {
 	io.mu.Lock()
 	defer io.mu.Unlock()
+	if len(io.staged) == 0 && len(io.freed) == 0 && io.pendingRoot == nil {
+		// Nothing changed; skip the store round trip (and its fsyncs).
+		io.batching = false
+		io.staged, io.freed = nil, nil
+		return nil
+	}
+	writes := make(map[uint64][]byte, len(io.staged))
 	for id, n := range io.staged {
-		if err := io.sealAndWrite(id, n); err != nil {
+		page, err := io.seal(id, n)
+		if err != nil {
 			io.abortLocked()
 			return err
 		}
+		writes[id] = page
 	}
-	if io.pendingRoot != nil {
-		if err := io.st.SetRoot(*io.pendingRoot); err != nil {
+	root := io.pendingRoot
+	if root == nil {
+		cur, err := io.st.Root()
+		if err != nil {
 			io.abortLocked()
 			return err
 		}
+		root = &cur
 	}
+	frees := make([]uint64, 0, len(io.freed))
 	for id := range io.freed {
-		// A page allocated and merged away within the same batch was never
-		// written to the store; ErrNotFound is expected for it.
-		if err := io.st.Free(id); err != nil && !errors.Is(err, store.ErrNotFound) {
-			io.abortLocked()
-			return err
-		}
+		// Pages allocated and merged away within the same batch were never
+		// written; CommitPages ignores them.
+		frees = append(frees, id)
+	}
+	if err := io.st.CommitPages(writes, *root, frees); err != nil {
+		io.abortLocked()
+		return err
 	}
 	// Promote staged nodes to the clean cache: they now match the store.
 	for id, n := range io.staged {

@@ -1,0 +1,135 @@
+package ekbtree
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"github.com/paper-repro/ekbtree/internal/cipher"
+	"github.com/paper-repro/ekbtree/internal/node"
+	"github.com/paper-repro/ekbtree/internal/store"
+)
+
+// TestBatchRestageAfterFree is the regression test for the batch-commit
+// dangling-page bug: a page freed and then re-staged within the same batch
+// used to stay in the freed set, so commit would seal and write it and then
+// immediately release it, leaving any reference to it dangling.
+func TestBatchRestageAfterFree(t *testing.T) {
+	st := store.NewMem()
+	defer st.Close()
+	io := newNodeIO(st, cipher.Plaintext{}, 4)
+
+	id, err := io.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := &node.Node{Leaf: true, Keys: [][]byte{[]byte("k")}, Values: [][]byte{[]byte("v1")}}
+	if err := io.Write(id, v1); err != nil {
+		t.Fatal(err)
+	}
+
+	io.beginBatch()
+	if err := io.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	v2 := &node.Node{Leaf: true, Keys: [][]byte{[]byte("k")}, Values: [][]byte{[]byte("v2")}}
+	if err := io.Write(id, v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := io.SetRoot(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := io.commitBatch(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The re-staged page must be live in the store, not freed at commit.
+	if _, err := st.ReadPage(id); err != nil {
+		t.Fatalf("re-staged page gone from store after commit: %v", err)
+	}
+	io.invalidate() // force the read back through the store
+	n, err := io.Read(id)
+	if err != nil {
+		t.Fatalf("read of re-staged page: %v", err)
+	}
+	if !bytes.Equal(n.Values[0], []byte("v2")) {
+		t.Fatalf("re-staged page holds %q, want v2", n.Values[0])
+	}
+}
+
+// TestNodeIOAllocClosed pins Alloc's error propagation: a closed store must
+// refuse to hand out page IDs instead of silently minting them.
+func TestNodeIOAllocClosed(t *testing.T) {
+	st := store.NewMem()
+	io := newNodeIO(st, cipher.Plaintext{}, 4)
+	if _, err := io.Alloc(); err != nil {
+		t.Fatalf("Alloc on open store: %v", err)
+	}
+	st.Close()
+	if _, err := io.Alloc(); !errors.Is(err, store.ErrClosed) {
+		t.Fatalf("Alloc on closed store = %v, want store.ErrClosed", err)
+	}
+}
+
+// countingStore counts ReadPage calls, to pin down descent behavior.
+type countingStore struct {
+	store.PageStore
+	reads atomic.Int64
+}
+
+func (cs *countingStore) ReadPage(id uint64) ([]byte, error) {
+	cs.reads.Add(1)
+	return cs.PageStore.ReadPage(id)
+}
+
+// TestCursorExactBatchMultipleNoExtraDescent is the regression test for the
+// cursor's redundant trailing descent: when the range size is an exact
+// multiple of cursorBatch, the final Next used to trigger one more full
+// CollectRange descent that came back empty. CollectRange now reports
+// exhaustion, so Next after the last entry must not touch the store at all.
+func TestCursorExactBatchMultipleNoExtraDescent(t *testing.T) {
+	for _, n := range []int{cursorBatch, 2 * cursorBatch} {
+		cs := &countingStore{PageStore: store.NewMem()}
+		tr, err := Open(Options{
+			MasterKey:  bytes.Repeat([]byte{0xD4}, 32),
+			Order:      8,
+			Store:      cs,
+			CachePages: -1, // no node cache: every descent hits the store
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			k := []byte{byte(i >> 8), byte(i)}
+			if err := tr.Put(k, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c := tr.Cursor()
+		ok := c.First()
+		count := 0
+		for ok {
+			count++
+			if count == n {
+				break // positioned on the final entry
+			}
+			ok = c.Next()
+		}
+		if count != n {
+			t.Fatalf("cursor visited %d entries, want %d", count, n)
+		}
+		before := cs.reads.Load()
+		if c.Next() {
+			t.Fatal("Next past the final entry succeeded")
+		}
+		if got := cs.reads.Load(); got != before {
+			t.Errorf("n=%d: Next past an exact-multiple range issued %d extra store reads", n, got-before)
+		}
+		if err := c.Err(); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+		tr.Close()
+	}
+}
