@@ -2,10 +2,10 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-BENCH_PKGS = ./internal/btree/ ./pkg/ekbtree/
+BENCH_PKGS = ./internal/btree/ ./internal/store/file/ ./pkg/ekbtree/
 BENCH_NOTE ?= local run
 
-.PHONY: all build vet fmt-check test race bench bench-raw clean
+.PHONY: all build vet fmt-check test race bench bench-raw bench-smoke clean
 
 all: vet fmt-check build test
 
@@ -37,6 +37,12 @@ bench:
 # bench-raw prints the unprocessed go test -bench output.
 bench-raw:
 	$(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS)
+
+# bench-smoke runs the file-backend benchmarks short-form (one iteration
+# each): a cheap CI guard that the benchmark code itself still builds, runs,
+# and exercises every durability mode.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x $(BENCH_PKGS)
 
 clean:
 	$(GO) clean ./...

@@ -58,21 +58,44 @@ func (tr *Tree) Get(key []byte) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	for id != store.NoRoot {
-		n, err := tr.st.Read(id)
-		if err != nil {
-			return nil, false, err
-		}
+	if id == store.NoRoot {
+		return nil, false, nil
+	}
+	n, err := tr.st.Read(id)
+	if err != nil {
+		return nil, false, err
+	}
+	return tr.lookupFrom(n, key)
+}
+
+// lookupFrom is a read-only descent for key in the subtree rooted at n.
+func (tr *Tree) lookupFrom(n *node.Node, key []byte) ([]byte, bool, error) {
+	for {
 		i, eq := n.Search(key)
 		if eq {
 			return n.Values[i], true, nil
 		}
 		if n.Leaf {
-			break
+			return nil, false, nil
 		}
-		id = n.Children[i]
+		var err error
+		if n, err = tr.st.Read(n.Children[i]); err != nil {
+			return nil, false, err
+		}
 	}
-	return nil, false, nil
+}
+
+// isNoOpPut reports whether key already holds exactly value somewhere in the
+// subtree rooted at n. The insert path checks this before a preemptive split:
+// an overwrite that changes nothing must not restructure (or rewrite) the
+// tree. The extra descent is read-only and touches only nodes the insert
+// would read anyway.
+func (tr *Tree) isNoOpPut(n *node.Node, key, value []byte) (bool, error) {
+	v, ok, err := tr.lookupFrom(n, key)
+	if err != nil {
+		return false, err
+	}
+	return ok && bytes.Equal(v, value), nil
 }
 
 // Put inserts key with value, replacing any existing value.
@@ -97,6 +120,9 @@ func (tr *Tree) Put(key, value []byte) error {
 		return err
 	}
 	if len(root.Keys) == tr.maxKeys() {
+		if noop, err := tr.isNoOpPut(root, key, value); err != nil || noop {
+			return err
+		}
 		newRootID, err := tr.st.Alloc()
 		if err != nil {
 			return err
@@ -161,6 +187,11 @@ func (tr *Tree) insertNonFull(id uint64, n *node.Node, key, value []byte) error 
 	for {
 		i, eq := n.Search(key)
 		if eq {
+			if bytes.Equal(n.Values[i], value) {
+				// Identical entry already present: nothing to mutate, so
+				// nothing to re-seal or commit.
+				return nil
+			}
 			n.Values[i] = value
 			return tr.st.Write(id, n)
 		}
@@ -175,11 +206,17 @@ func (tr *Tree) insertNonFull(id uint64, n *node.Node, key, value []byte) error 
 			return err
 		}
 		if len(c.Keys) == tr.maxKeys() {
+			if noop, err := tr.isNoOpPut(c, key, value); err != nil || noop {
+				return err
+			}
 			if err := tr.splitChild(id, n, i); err != nil {
 				return err
 			}
 			switch cmp := bytes.Compare(key, n.Keys[i]); {
 			case cmp == 0:
+				if bytes.Equal(n.Values[i], value) {
+					return nil
+				}
 				n.Values[i] = value
 				return tr.st.Write(id, n)
 			case cmp > 0:
@@ -250,6 +287,11 @@ func (tr *Tree) delete(id uint64, n *node.Node, key []byte) (bool, error) {
 		return false, err
 	}
 	if len(c.Keys) < tr.t {
+		// Deleting an absent key must not restructure the tree: check the
+		// subtree read-only before borrowing or merging on the way down.
+		if _, ok, err := tr.lookupFrom(c, key); err != nil || !ok {
+			return false, err
+		}
 		if err := tr.fill(id, n, i); err != nil {
 			return false, err
 		}

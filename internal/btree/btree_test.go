@@ -226,6 +226,51 @@ func TestPutOverwrites(t *testing.T) {
 	}
 }
 
+// countWrites wraps memNodes to count Write calls, pinning the
+// identical-value skip: a Put that changes nothing must write nothing.
+type countWrites struct {
+	*memNodes
+	writes int
+}
+
+func (c *countWrites) Write(id uint64, n *node.Node) error {
+	c.writes++
+	return c.memNodes.Write(id, n)
+}
+
+func TestPutIdenticalValueWritesNothing(t *testing.T) {
+	st := &countWrites{memNodes: newMemNodes()}
+	tr, err := New(st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := tr.Put(key(i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := st.writes
+	for i := 0; i < 50; i++ {
+		if err := tr.Put(key(i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.writes != before {
+		t.Fatalf("identical re-puts issued %d writes, want 0", st.writes-before)
+	}
+	// A genuinely different value still writes.
+	if err := tr.Put(key(7), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if st.writes == before {
+		t.Fatal("real overwrite issued no write")
+	}
+	if v, _, _ := tr.Get(key(7)); string(v) != "v2" {
+		t.Fatalf("Get = %q, want v2", v)
+	}
+	checkInvariants(t, tr, st.memNodes)
+}
+
 func TestDeleteAcrossDegrees(t *testing.T) {
 	for _, degree := range []int{2, 3, 5} {
 		t.Run(fmt.Sprintf("t=%d", degree), func(t *testing.T) {

@@ -18,23 +18,35 @@
 // directory blob also carries the persistent free-extent list and the
 // façade's sealed engine header.
 //
-// # Shadow paging
+// # Shadow paging and group commit
 //
-// A commit NEVER overwrites an extent referenced by the durable directory.
-// CommitPages writes every incoming page to a fresh extent (reusing only
-// extents on the durable free list, which by construction nothing durable
-// references), writes a new directory blob to another fresh extent, fsyncs,
-// and then flips the commit point: it writes the inactive meta slot with an
-// incremented transaction ID and fsyncs again. Extents released by a commit
-// (old versions of overwritten pages, freed pages, the previous directory)
-// enter the free list recorded in the NEW directory, so they become
-// allocatable only after the flip that made them garbage is durable.
+// A flush NEVER overwrites an extent referenced by the durable directory.
+// Commits do not write the file directly: callers enqueue their write-sets
+// into an in-memory group and a dedicated committer goroutine coalesces
+// every pending commit into one flush — all pages to fresh extents (reusing
+// only extents on the durable free list, which by construction nothing
+// durable references), one new directory blob, one fsync, one meta-slot flip
+// with an incremented transaction ID, one more fsync. Extents released by a
+// group (old versions of overwritten pages, freed pages, the previous
+// directory) enter the free list recorded in the NEW directory, so they
+// become allocatable only after the flip that made them garbage is durable.
+// Until a group's flush is installed, reads are served from the in-memory
+// overlay, so callers always observe their own committed writes.
 //
 // Open reads both slots, keeps the valid one with the highest transaction
 // ID whose directory passes its CRC, and needs no replay: a crash at any
-// byte of a commit loses a suffix of that commit's writes, all of which
+// byte of a flush loses a suffix of that flush's writes, all of which
 // landed in extents the surviving slot does not reference. A torn slot
-// write fails the slot CRC and Open falls back to the other slot.
+// write fails the slot CRC and Open falls back to the other slot. Because
+// groups flush in order, a crash at any point yields exactly a prefix of
+// the flushed groups — never a torn one.
+//
+// # Durability modes
+//
+// Config.Durability picks what a commit waits for (see Durability); the
+// flush sequence itself — and therefore the crash guarantee above — is
+// identical in every mode. Sync blocks until everything enqueued before it
+// is durable, in any mode.
 //
 // The one non-atomic window is file creation itself: initialization writes
 // the first directory and slot, fsyncs, then writes the magic header and
@@ -52,6 +64,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/paper-repro/ekbtree/internal/store"
 )
@@ -63,14 +76,94 @@ import (
 // first-creation window, before any data existed).
 var ErrCorrupt = errors.New("file: corrupt page file")
 
-// ErrFailed is returned by every mutating operation after a commit failed at
-// or beyond its meta-slot write. Past that point the slot's durability is
-// indeterminate: a stale higher-txid slot may be on disk, and a further
-// commit reusing the failed commit's extents could hand that stale slot a
-// torn state to point at after a crash. Reads keep working from the last
-// known-durable state; reopening the file recovers (Open lands on whichever
-// of the pre- or post-commit states is durable) and clears the condition.
+// ErrFailed is returned by every mutating operation (and Sync) after a group
+// flush failed. Past the meta-slot write the flip's durability is
+// indeterminate: a stale higher-txid slot may be on disk, and a further flush
+// reusing the failed group's extents could hand that stale slot a torn state
+// to point at after a crash. Failures earlier in a flush are fail-stop too:
+// the group's commits were already visible to readers (and, outside Full
+// mode, already acknowledged), so the store refuses to let the durable state
+// diverge further. Reads keep working from the last applied state; reopening
+// the file recovers (Open lands on the last durable flush) and clears the
+// condition.
 var ErrFailed = errors.New("file: store failed mid-commit, reopen to recover")
+
+// ErrLocked is returned by Open when another process (or another open store
+// in this process) holds the page file. Single-writer locking fails fast
+// instead of letting two stores shadow-page over each other.
+var ErrLocked = errors.New("file: page file is locked by another process")
+
+// Durability selects what a commit waits for before returning. The flush
+// sequence — and so the crash guarantee (pre- or post-state of a prefix of
+// groups, never torn) — is the same in every mode; only the moment of
+// acknowledgment moves.
+type Durability int
+
+const (
+	// Full makes every commit wait until the group containing it is durably
+	// flushed (data fsync, slot flip, slot fsync). Concurrent commits that
+	// arrive while a flush is in progress coalesce into the next group and
+	// share its two fsyncs. This is the default.
+	Full Durability = iota
+	// Grouped acknowledges commits as soon as they are applied in memory;
+	// the committer flushes the accumulated group once it is GroupWindow old
+	// (or sooner on Sync/Close/backpressure). A crash loses at most the last
+	// window of acknowledged commits, never a torn state.
+	Grouped
+	// Async acknowledges commits immediately and flushes only on Sync,
+	// Close, or backpressure. After Sync returns, everything enqueued before
+	// it is durable; a crash earlier loses un-synced groups whole.
+	Async
+)
+
+func (d Durability) String() string {
+	switch d {
+	case Full:
+		return "full"
+	case Grouped:
+		return "grouped"
+	case Async:
+		return "async"
+	default:
+		return fmt.Sprintf("Durability(%d)", int(d))
+	}
+}
+
+// DefaultGroupWindow is the Grouped-mode flush window used when
+// Config.GroupWindow is zero.
+const DefaultGroupWindow = 2 * time.Millisecond
+
+// flushThreshold is the pending-overlay size at which the committer flushes
+// regardless of mode, bounding memory between Sync calls.
+const flushThreshold = 4 << 20
+
+// Config tunes the write pipeline. The zero value is Full durability.
+type Config struct {
+	// Durability selects when commits are acknowledged; see the constants.
+	Durability Durability
+	// GroupWindow bounds how long a Grouped-mode commit may sit unflushed.
+	// Zero means DefaultGroupWindow. Ignored in other modes.
+	GroupWindow time.Duration
+}
+
+func (c Config) window() time.Duration {
+	if c.GroupWindow <= 0 {
+		return DefaultGroupWindow
+	}
+	return c.GroupWindow
+}
+
+func (c Config) validate() error {
+	switch c.Durability {
+	case Full, Grouped, Async:
+	default:
+		return fmt.Errorf("file: unknown durability mode %d", int(c.Durability))
+	}
+	if c.GroupWindow < 0 {
+		return fmt.Errorf("file: negative group window %v", c.GroupWindow)
+	}
+	return nil
+}
 
 const (
 	magic      = "EKBTPG\r\n" // 8 bytes; \r\n catches ASCII-mode transfer mangling
@@ -110,30 +203,71 @@ type slotData struct {
 }
 
 // Store is a file-backed PageStore. All methods are safe for concurrent use;
-// reads proceed concurrently, commits serialize.
+// reads proceed concurrently, commits enqueue and the committer goroutine
+// serializes flushes.
 type Store struct {
-	mu      sync.RWMutex
-	f       File
+	mu  sync.RWMutex
+	f   File
+	cfg Config
+
+	// Durable state: exactly what the active meta slot on disk describes.
+	// After Open only the committer goroutine replaces these fields (under
+	// mu, when a flush's flip is durable), so the committer may read them
+	// without the lock during a flush.
 	pages   map[uint64]extent // logical page ID -> durable extent
-	free    []extent          // durably free extents, allocatable now
+	free    []extent          // durably free extents, allocatable by the next flush
 	meta    []byte
 	root    uint64
-	nextID  uint64
 	txid    uint64
 	cur     int    // index (0/1) of the slot holding the durable state
 	dirExt  extent // extent of the durable directory blob
 	fileEnd int64  // append frontier: no durable extent ends beyond this
-	failed  bool   // a commit died at/after its slot write; mutations refused
-	closed  bool
+
+	// Applied state: what readers observe. Runs ahead of the durable state
+	// by the pending and flushing overlays.
+	nextID   uint64
+	aroot    uint64
+	ameta    []byte
+	pending  *group // accumulating write-set, flushed next
+	flushing *group // write-set currently being flushed, nil when idle
+
+	force     bool // flush pending now, regardless of mode or window
+	lastGroup int  // commit count of the last flushed group, for the Full-mode hold
+	failed    bool
+	ferr      error // first flush error, behind ErrFailed
+	closed    bool
+
+	kick chan struct{} // wakes the committer; capacity 1
+	stop chan struct{} // closed by Close once all groups resolved
+	done chan struct{} // closed by the committer on exit
 }
 
-// Open opens or creates the page file at path.
+// Open opens or creates the page file at path with Full durability.
 func Open(path string) (*Store, error) {
+	return OpenConfig(path, Config{})
+}
+
+// OpenConfig opens or creates the page file at path with the given pipeline
+// configuration. On unix platforms the file is flock'd for exclusive use for
+// the life of the store: a second open of the same path — from this or any
+// other process — fails fast with ErrLocked instead of corrupting the file.
+// Platforms without flock semantics skip the lock, and exclusivity is the
+// caller's responsibility there.
+func OpenConfig(path string, cfg Config) (*Store, error) {
+	// Validate before os.OpenFile: O_CREATE on a rejected config must not
+	// leave a stray empty file behind.
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
 	if err != nil {
 		return nil, fmt.Errorf("file: %w", err)
 	}
-	s, err := OpenWith(f)
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s, err := OpenWithConfig(f, cfg)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -141,9 +275,18 @@ func Open(path string) (*Store, error) {
 	return s, nil
 }
 
-// OpenWith opens a store over an already-open backing file, for tests that
-// inject fault-wrapped files. The store takes ownership of f.
+// OpenWith opens a Full-durability store over an already-open backing file,
+// for tests that inject fault-wrapped files. The store takes ownership of f.
+// No file locking is performed; callers own exclusivity.
 func OpenWith(f File) (*Store, error) {
+	return OpenWithConfig(f, Config{})
+}
+
+// OpenWithConfig is OpenWith with an explicit pipeline configuration.
+func OpenWithConfig(f File, cfg Config) (*Store, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	hdr := make([]byte, dataStart)
 	n, err := f.ReadAt(hdr, 0)
 	if err != nil && err != io.EOF {
@@ -160,7 +303,7 @@ func OpenWith(f File) (*Store, error) {
 		if !ok0 && !ok1 {
 			// Nothing durable exists: a genuinely fresh file, or a crash
 			// during creation before the first slot landed.
-			return initialize(f)
+			return initialize(f, cfg)
 		}
 		// The magic is gone but a meta slot survived — external damage to
 		// the header prefix (or a creation crash between the slot sync and
@@ -175,7 +318,7 @@ func OpenWith(f File) (*Store, error) {
 		}
 	}
 	// Try the valid slot with the highest txid first; fall back to the other,
-	// which covers a commit whose directory write was torn before its slot
+	// which covers a flush whose directory write was torn before its slot
 	// flip ever happened (the old slot still describes a complete state).
 	var tries []struct {
 		slot slotData
@@ -199,6 +342,7 @@ func OpenWith(f File) (*Store, error) {
 	for _, tr := range tries {
 		s, err := loadState(f, tr.slot, tr.idx)
 		if err == nil {
+			s.start(cfg)
 			return s, nil
 		}
 	}
@@ -208,7 +352,7 @@ func OpenWith(f File) (*Store, error) {
 // initialize lays down a fresh, empty store: directory first, then slot 0,
 // fsync, then the magic header, fsync. Ordering makes creation idempotent
 // under crashes — until the magic is durable the file reads as fresh.
-func initialize(f File) (*Store, error) {
+func initialize(f File, cfg Config) (*Store, error) {
 	s := &Store{
 		f:      f,
 		pages:  make(map[uint64]extent),
@@ -240,11 +384,12 @@ func initialize(f File) (*Store, error) {
 	if err := f.Sync(); err != nil {
 		return nil, fmt.Errorf("file: init sync: %w", err)
 	}
+	s.start(cfg)
 	return s, nil
 }
 
 // loadState reads and validates the directory a slot points at, returning a
-// ready store.
+// store ready for start.
 func loadState(f File, sd slotData, idx int) (*Store, error) {
 	if sd.dir.off < dataStart {
 		return nil, fmt.Errorf("%w: directory inside header region", ErrCorrupt)
@@ -286,6 +431,18 @@ func loadState(f File, sd slotData, idx int) (*Store, error) {
 		s.fileEnd = dataStart
 	}
 	return s, nil
+}
+
+// start seeds the applied state from the durable state and launches the
+// committer goroutine. Called exactly once, before the store is shared.
+func (s *Store) start(cfg Config) {
+	s.cfg = cfg
+	s.aroot = s.root
+	s.ameta = s.meta
+	s.kick = make(chan struct{}, 1)
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.committer()
 }
 
 func allZero(b []byte) bool {
@@ -450,109 +607,24 @@ func coalesce(exts []extent) []extent {
 	return out
 }
 
-// commitLocked is the single durable mutation path: every write to the file
-// after initialization goes through here. It builds the post-commit state in
-// temporaries, writes pages and the new directory to fresh extents, fsyncs,
-// flips the inactive meta slot, fsyncs, and only then installs the new state
-// in memory — so on any error the in-memory view still matches the durable
-// pre-commit state and the store remains usable. Callers hold s.mu.
-func (s *Store) commitLocked(writes map[uint64][]byte, root uint64, frees []uint64, meta []byte, setMeta bool) error {
-	if s.failed {
-		return ErrFailed
-	}
-	newPages := make(map[uint64]extent, len(s.pages)+len(writes))
-	for id, e := range s.pages {
-		newPages[id] = e
-	}
-	avail := append([]extent(nil), s.free...)
-	newEnd := s.fileEnd
-	var pending []extent // extents that become free once this commit is durable
-	for _, id := range frees {
-		if e, ok := newPages[id]; ok {
-			pending = append(pending, e)
-			delete(newPages, id)
-		}
-	}
-	for id, page := range writes {
-		if e, ok := newPages[id]; ok {
-			pending = append(pending, e)
-		}
-		ext := allocExtent(&avail, &newEnd, uint32(len(page)))
-		if _, err := s.f.WriteAt(page, ext.off); err != nil {
-			return fmt.Errorf("file: write page %d: %w", id, err)
-		}
-		newPages[id] = ext
-	}
-	newMeta := s.meta
-	if setMeta {
-		newMeta = append([]byte(nil), meta...)
-	}
-	// Size the new directory before allocating its extent: the allocation can
-	// only shrink the free list (remove or split an entry), so counting the
-	// current avail plus everything pending is an upper bound, and the blob is
-	// padded to the allocated size.
-	ubFree := len(avail) + len(pending)
-	if s.dirExt.len > 0 {
-		ubFree++
-	}
-	dirExt := allocExtent(&avail, &newEnd, uint32(dirSize(len(newPages), ubFree, len(newMeta))))
-	newFree := append(append([]extent(nil), avail...), pending...)
-	if s.dirExt.len > 0 {
-		newFree = append(newFree, s.dirExt) // the old directory's own extent
-	}
-	newFree = coalesce(newFree)
-	// Retreat the append frontier over a trailing free extent, so space freed
-	// at the end of the file is reclaimed rather than carried as a free entry
-	// forever.
-	if len(newFree) > 0 && newFree[len(newFree)-1].end() == newEnd {
-		newEnd = newFree[len(newFree)-1].off
-		newFree = newFree[:len(newFree)-1]
-	}
-	dir := make([]byte, dirExt.len)
-	serializeDir(dir, newPages, newFree, newMeta)
-	if _, err := s.f.WriteAt(dir, dirExt.off); err != nil {
-		return fmt.Errorf("file: write directory: %w", err)
-	}
-	if err := s.f.Sync(); err != nil {
-		return fmt.Errorf("file: sync data: %w", err)
-	}
-	slot := serializeSlot(slotData{
-		txid: s.txid + 1, root: root, nextID: s.nextID,
-		dir: dirExt, dirCRC: crc32.ChecksumIEEE(dir),
-	})
-	slotOff := int64(slot0Off)
-	if s.cur == 0 {
-		slotOff = slot1Off
-	}
-	// From the slot write onward, a failure leaves the flip's durability
-	// indeterminate: the inactive slot may now hold a valid, higher-txid
-	// record of this commit on disk. Allowing further commits from the
-	// in-memory pre-commit state would reuse this commit's extents while
-	// that stale slot still points at them — a crash before the next flip
-	// would then open a torn state. Refuse all further mutations instead;
-	// reopening resolves the ambiguity by reading what's actually durable.
-	if _, err := s.f.WriteAt(slot, slotOff); err != nil {
-		s.failed = true
-		return fmt.Errorf("file: write meta slot (%w): %v", ErrFailed, err)
-	}
-	if err := s.f.Sync(); err != nil {
-		s.failed = true
-		return fmt.Errorf("file: sync meta slot (%w): %v", ErrFailed, err)
-	}
-	// The flip is durable: install the post-commit state.
-	s.pages, s.free, s.meta, s.root = newPages, newFree, newMeta, root
-	s.txid++
-	s.cur = 1 - s.cur
-	s.dirExt = dirExt
-	s.fileEnd = newEnd
-	return nil
-}
-
+// ReadPage serves the applied state: the pending overlay first, then the
+// group being flushed, then the durable extent on disk.
 func (s *Store) ReadPage(id uint64) ([]byte, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return nil, store.ErrClosed
+	}
+	for _, g := range [...]*group{s.pending, s.flushing} {
+		if g == nil {
+			continue
+		}
+		if g.frees[id] {
+			return nil, fmt.Errorf("%w: page %d", store.ErrNotFound, id)
+		}
+		if p, ok := g.writes[id]; ok {
+			return append([]byte(nil), p...), nil
+		}
 	}
 	e, ok := s.pages[id]
 	if !ok {
@@ -566,12 +638,7 @@ func (s *Store) ReadPage(id uint64) ([]byte, error) {
 }
 
 func (s *Store) WritePage(id uint64, page []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return store.ErrClosed
-	}
-	return s.commitLocked(map[uint64][]byte{id: page}, s.root, nil, nil, false)
+	return s.commit(map[uint64][]byte{id: page}, rootUnchanged, nil, nil, false)
 }
 
 func (s *Store) Alloc() (uint64, error) {
@@ -587,32 +654,49 @@ func (s *Store) Alloc() (uint64, error) {
 
 func (s *Store) Free(id uint64) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return store.ErrClosed
 	}
-	if _, ok := s.pages[id]; !ok {
+	if s.failed {
+		defer s.mu.Unlock()
+		return s.failedErrLocked()
+	}
+	if !s.liveLocked(id) {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: page %d", store.ErrNotFound, id)
 	}
-	return s.commitLocked(nil, s.root, []uint64{id}, nil, false)
+	res := s.enqueueLocked(nil, s.aroot, []uint64{id}, nil, false)
+	return s.finish(res)
 }
 
+// liveLocked reports whether id currently maps to a page in the applied
+// state. Callers hold s.mu.
+func (s *Store) liveLocked(id uint64) bool {
+	if g := s.pending; g != nil {
+		if g.frees[id] {
+			return false
+		}
+		if _, ok := g.writes[id]; ok {
+			return true
+		}
+	}
+	return s.liveBelowPendingLocked(id)
+}
+
+// Root returns the applied root: commits observe their own root flips even
+// before the group carrying them is durable.
 func (s *Store) Root() (uint64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return store.NoRoot, store.ErrClosed
 	}
-	return s.root, nil
+	return s.aroot, nil
 }
 
 func (s *Store) SetRoot(id uint64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return store.ErrClosed
-	}
-	return s.commitLocked(nil, id, nil, nil, false)
+	return s.commit(nil, id, nil, nil, false)
 }
 
 func (s *Store) Meta() ([]byte, error) {
@@ -621,45 +705,73 @@ func (s *Store) Meta() ([]byte, error) {
 	if s.closed {
 		return nil, store.ErrClosed
 	}
-	return append([]byte(nil), s.meta...), nil
+	return append([]byte(nil), s.ameta...), nil
 }
 
 func (s *Store) SetMeta(meta []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return store.ErrClosed
-	}
-	return s.commitLocked(nil, s.root, nil, meta, true)
+	return s.commit(nil, rootUnchanged, nil, meta, true)
 }
 
 func (s *Store) CommitPages(writes map[uint64][]byte, root uint64, frees []uint64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return store.ErrClosed
-	}
-	return s.commitLocked(writes, root, frees, nil, false)
+	return s.commit(writes, root, frees, nil, false)
 }
 
+// Close flushes every outstanding group (so a clean shutdown is durable in
+// all modes), stops the committer, and closes the backing file. If a final
+// flush fails — or the store had already fail-stopped with acknowledged
+// commits still unflushed — Close reports it: a nil return means everything
+// accepted is durably on disk. The file lock, when one was taken, is
+// released with the file descriptor.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return store.ErrClosed
 	}
-	s.closed = true
-	return s.f.Close()
+	s.closed = true // refuses new work; the committer still drains old work
+	ferr := s.flushOutstandingLocked()
+	close(s.stop)
+	<-s.done
+	cerr := s.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
 }
 
-// Len returns the number of live logical pages, for tests and diagnostics.
+// Len returns the number of live logical pages in the applied state, for
+// tests and diagnostics.
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.pages)
+	n := len(s.pages)
+	seen := make(map[uint64]bool)
+	for _, g := range [...]*group{s.pending, s.flushing} {
+		if g == nil {
+			continue
+		}
+		for id := range g.writes {
+			if !seen[id] {
+				seen[id] = true
+				if _, durable := s.pages[id]; !durable {
+					n++
+				}
+			}
+		}
+		for id := range g.frees {
+			if !seen[id] {
+				seen[id] = true
+				if _, durable := s.pages[id]; durable {
+					n--
+				}
+			}
+		}
+	}
+	return n
 }
 
-// Txid returns the durable transaction ID, for tests and diagnostics.
+// Txid returns the durable transaction ID — it advances once per flushed
+// group, so it doubles as a flush counter for tests and diagnostics.
 func (s *Store) Txid() uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

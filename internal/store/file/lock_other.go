@@ -1,0 +1,9 @@
+//go:build !unix
+
+package file
+
+import "os"
+
+// lockFile is a no-op on platforms without flock semantics; single-writer
+// protection is only enforced where the kernel supports it.
+func lockFile(*os.File) error { return nil }

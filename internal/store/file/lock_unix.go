@@ -1,0 +1,26 @@
+//go:build unix
+
+package file
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive, non-blocking flock on the page file for the
+// life of the descriptor, so a second store — in this process or another —
+// opening the same path fails fast with ErrLocked instead of the two
+// shadow-paging over each other. The kernel drops the lock when the
+// descriptor closes, so Close (and process death) release it with no
+// bookkeeping.
+func lockFile(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+			return fmt.Errorf("%w: %s", ErrLocked, f.Name())
+		}
+		return fmt.Errorf("file: lock %s: %w", f.Name(), err)
+	}
+	return nil
+}

@@ -51,9 +51,16 @@ type PageStore interface {
 	// not appear in both writes and frees. Durable implementations must make
 	// the flip atomic against crashes: reopening the store after a failure at
 	// any point during CommitPages yields exactly the pre-commit or
-	// post-commit state, never a mix.
+	// post-commit state, never a mix. Depending on the store's durability
+	// mode, a successful return may mean "applied and queued" rather than
+	// "on disk" — Sync is the durability barrier.
 	CommitPages(writes map[uint64][]byte, root uint64, frees []uint64) error
-	// Close releases resources. The store must not be used afterwards.
+	// Sync blocks until every commit accepted before the call is durable.
+	// Stores whose commits are synchronously durable (or that have no
+	// durability at all, like the in-memory store) return immediately.
+	Sync() error
+	// Close releases resources, flushing any commits the store has accepted
+	// but not yet made durable. The store must not be used afterwards.
 	Close() error
 }
 
@@ -171,6 +178,15 @@ func (m *Mem) CommitPages(writes map[uint64][]byte, root uint64, frees []uint64)
 	m.root = root
 	for _, id := range frees {
 		delete(m.pages, id)
+	}
+	return nil
+}
+
+func (m *Mem) Sync() error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return ErrClosed
 	}
 	return nil
 }

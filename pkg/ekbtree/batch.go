@@ -73,15 +73,19 @@ func (b *Batch) Len() int {
 // flush), nothing has reached the store and the tree is unchanged. The flush
 // itself hands every sealed page, the new root, and the freed page IDs to
 // the store's CommitPages hook in one call: the in-memory store applies it
-// under a single lock, and the file-backed store shadow-pages it — fresh
-// extents plus one fsync'd meta-slot flip — so a crash or I/O error at any
-// point leaves the store at exactly the pre- or post-commit state, never
-// torn. A failed Commit may therefore be retried: either nothing was
-// applied, or the error arrived after the commit point and the retry's
-// writes are idempotent re-puts of the same operations. The one exception is
-// a file-backed store whose commit failed at the flip itself (durability
-// indeterminate): it fails stop — further commits return an error and
-// reopening the store recovers the last durable state.
+// under a single lock, and the file-backed store enqueues it on the
+// group-commit pipeline — the whole batch lands in one coalesced
+// shadow-paged flush, so a crash or I/O error at any point leaves the store
+// at exactly the pre- or post-commit state, never torn. What a successful
+// Commit means for durability follows the tree's Options.Durability: under
+// DurabilityFull the batch is on disk when Commit returns; under
+// DurabilityGrouped or DurabilityAsync it is applied and queued, and
+// Tree.Sync (or Close) is the durability barrier. A failed Commit may be
+// retried: either nothing was applied, or the error arrived after the
+// commit point and the retry's writes are idempotent re-puts of the same
+// operations. The one exception is a file-backed store whose flush failed
+// (durability indeterminate): it fails stop — further commits return an
+// error and reopening the store recovers the last durable state.
 func (b *Batch) Commit() error {
 	if b.done {
 		return ErrClosed

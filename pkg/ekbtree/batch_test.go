@@ -159,6 +159,97 @@ func TestBatchSealCount(t *testing.T) {
 	}
 }
 
+// TestBatchCleanPagesNotResealed is the acceptance check for per-page dirty
+// tracking: a batch whose operations read pages but leave them unchanged —
+// re-puts of identical values, deletes of absent keys — must encrypt and
+// rewrite nothing at commit, and a mixed batch must seal only the pages its
+// real mutation dirtied.
+func TestBatchCleanPagesNotResealed(t *testing.T) {
+	const n = 200
+	key := func(i int) []byte { return []byte(fmt.Sprintf("key%06d", i)) }
+	tr, cc := countingTree(t, Options{Order: 8})
+	defer tr.Close()
+	for i := 0; i < n; i++ {
+		if err := tr.Put(key(i), []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Pure no-op batch: identical re-puts plus deletes of absent keys.
+	b := tr.NewBatch()
+	for i := 0; i < n; i += 4 {
+		if err := b.Put(key(i), []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if err := b.Delete([]byte(fmt.Sprintf("absent%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := cc.seals.Load()
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if sealed := cc.seals.Load() - start; sealed != 0 {
+		t.Fatalf("no-op batch sealed %d pages, want 0", sealed)
+	}
+
+	// Mixed batch: many clean reads, one real mutation. Only the mutated
+	// leaf (and any rebalance it causes) may be sealed — far fewer pages
+	// than the batch touched.
+	b2 := tr.NewBatch()
+	for i := 0; i < n; i += 2 {
+		if err := b2.Put(key(i), []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b2.Put(key(3), []byte("changed")); err != nil {
+		t.Fatal(err)
+	}
+	start = cc.seals.Load()
+	if err := b2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	sealed := cc.seals.Load() - start
+	if sealed == 0 {
+		t.Fatal("mixed batch sealed nothing; the real mutation was lost")
+	}
+	if sealed > 4 {
+		t.Fatalf("mixed batch sealed %d pages; clean pages are being re-sealed", sealed)
+	}
+	if v, ok, err := tr.Get(key(3)); err != nil || !ok || string(v) != "changed" {
+		t.Fatalf("mutation lost: Get = (%q, %v, %v)", v, ok, err)
+	}
+	if v, ok, err := tr.Get(key(100)); err != nil || !ok || string(v) != "value" {
+		t.Fatalf("clean key damaged: Get = (%q, %v, %v)", v, ok, err)
+	}
+}
+
+// TestSingleNoOpPutSkipsCommit pins the same property outside batches: a Put
+// of the value already stored must not seal or commit anything — on a
+// durable backend that is two fsyncs saved.
+func TestSingleNoOpPutSkipsCommit(t *testing.T) {
+	tr, cc := countingTree(t, Options{Order: 8})
+	defer tr.Close()
+	if err := tr.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	start := cc.seals.Load()
+	if err := tr.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if sealed := cc.seals.Load() - start; sealed != 0 {
+		t.Fatalf("identical re-put sealed %d pages, want 0", sealed)
+	}
+	if err := tr.Put([]byte("k"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := tr.Get([]byte("k")); err != nil || !ok || string(v) != "v2" {
+		t.Fatalf("real overwrite lost: (%q, %v, %v)", v, ok, err)
+	}
+}
+
 // TestCacheServesGets asserts the decoded-node cache short-circuits repeated
 // reads: after a Get warms the path, further Gets of the same key decipher
 // nothing, while a cache-disabled tree deciphers on every Get.

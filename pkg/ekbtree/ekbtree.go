@@ -40,6 +40,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/paper-repro/ekbtree/internal/btree"
 	"github.com/paper-repro/ekbtree/internal/cipher"
@@ -56,6 +57,29 @@ var newDefaultStore = func() (store.PageStore, error) { return store.NewMem(), n
 
 // DefaultOrder is the default B-tree order (maximum children per node).
 const DefaultOrder = 32
+
+// Durability selects what a commit against a file-backed tree (Options.Path)
+// waits for before returning. Every mode preserves crash atomicity — a crash
+// at any point leaves the file at the state some prefix of the flushed commit
+// groups produced, never a torn one — the modes only move the moment a
+// commit is acknowledged relative to its fsync.
+type Durability = file.Durability
+
+const (
+	// DurabilityFull (the default) acknowledges a commit only after the
+	// group containing it is durably on disk. Concurrent commits that arrive
+	// while a flush is in progress coalesce and share its two fsyncs.
+	DurabilityFull = file.Full
+	// DurabilityGrouped acknowledges commits as soon as they are applied in
+	// memory; the store flushes the accumulated group within
+	// Options.GroupWindow. A crash loses at most the last window of
+	// acknowledged writes.
+	DurabilityGrouped = file.Grouped
+	// DurabilityAsync acknowledges commits immediately and flushes only on
+	// Tree.Sync, Close, or memory backpressure. After Sync returns,
+	// everything written before it is durable.
+	DurabilityAsync = file.Async
+)
 
 // Options configures a tree. The zero value is invalid: either MasterKey or
 // both Substituter and Cipher must be set.
@@ -75,11 +99,22 @@ type Options struct {
 	// Store and Path is invalid.
 	Store store.PageStore
 	// Path opens (or creates) a crash-safe file-backed store at this path.
-	// Every commit — batch or single mutation — is shadow-paged: a crash at
-	// any point leaves the file at exactly the pre- or post-commit state.
-	// Reopening requires the keys and configuration the file was written
-	// with, exactly as for any persistent store.
+	// Every commit — batch or single mutation — is shadow-paged and flushed
+	// through the store's group-commit pipeline: a crash at any point leaves
+	// the file at the state some prefix of the flushed commit groups
+	// produced. Reopening requires the keys and configuration the file was
+	// written with, exactly as for any persistent store. On unix platforms
+	// the file is locked for exclusive use; a second open of the same path
+	// fails with ErrLocked.
 	Path string
+	// Durability selects what commits against Path wait for; see the
+	// Durability constants. The zero value is DurabilityFull. Setting it
+	// without Path is invalid.
+	Durability Durability
+	// GroupWindow bounds how long a DurabilityGrouped commit may sit
+	// unflushed; zero means the store default (2ms). Setting it with any
+	// other durability mode, or without Path, is invalid.
+	GroupWindow time.Duration
 	// CachePages caps the decoded-node cache that serves repeated reads and
 	// batch staging. Zero means DefaultCachePages; negative disables the
 	// cache entirely (every access re-reads, deciphers, and decodes).
@@ -113,12 +148,27 @@ func (o Options) validate() (order int, sub keysub.Substituter, nc cipher.NodeCi
 			}
 		}
 	}
+	switch o.Durability {
+	case DurabilityFull, DurabilityGrouped, DurabilityAsync:
+	default:
+		return 0, nil, nil, nil, 0, fmt.Errorf("%w: unknown durability mode %d", ErrInvalidOptions, int(o.Durability))
+	}
+	if o.Path == "" && (o.Durability != DurabilityFull || o.GroupWindow != 0) {
+		return 0, nil, nil, nil, 0, fmt.Errorf("%w: Durability and GroupWindow apply only to Path stores", ErrInvalidOptions)
+	}
+	if o.GroupWindow < 0 {
+		return 0, nil, nil, nil, 0, fmt.Errorf("%w: negative GroupWindow", ErrInvalidOptions)
+	}
+	if o.GroupWindow != 0 && o.Durability != DurabilityGrouped {
+		return 0, nil, nil, nil, 0, fmt.Errorf("%w: GroupWindow applies only to DurabilityGrouped", ErrInvalidOptions)
+	}
 	st = o.Store
 	switch {
 	case st != nil && o.Path != "":
 		return 0, nil, nil, nil, 0, fmt.Errorf("%w: Store and Path are mutually exclusive", ErrInvalidOptions)
 	case st == nil && o.Path != "":
-		if st, err = file.Open(o.Path); err != nil {
+		cfg := file.Config{Durability: o.Durability, GroupWindow: o.GroupWindow}
+		if st, err = file.OpenConfig(o.Path, cfg); err != nil {
 			return 0, nil, nil, nil, 0, err
 		}
 	case st == nil:
@@ -347,15 +397,45 @@ func (t *Tree) cursorScan(c *Cursor, fn func(subKey, value []byte) bool) error {
 	return c.Err()
 }
 
-// Stats reports tree shape (key count, node count, height).
-func (t *Tree) Stats() (btree.Stats, error) {
+// Stats describes the tree: shape (key count, node count, height) plus
+// decoded-node cache traffic since Open.
+type Stats struct {
+	// Keys is the number of live entries.
+	Keys int
+	// Nodes is the number of B-tree pages.
+	Nodes int
+	// Height is the tree height in levels (0 for an empty tree).
+	Height int
+	// Cache counts decoded-node cache hits, misses, and clock evictions.
+	Cache CacheStats
+}
+
+// Stats reports tree shape and cache counters. The shape walk is O(nodes).
+func (t *Tree) Stats() (Stats, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if t.closed {
-		return btree.Stats{}, ErrClosed
+		return Stats{}, ErrClosed
 	}
 	s, err := t.bt.Stats()
-	return s, mapErr(err)
+	if err != nil {
+		return Stats{}, mapErr(err)
+	}
+	return Stats{Keys: s.Keys, Nodes: s.Nodes, Height: s.Height, Cache: t.io.cacheStats()}, nil
+}
+
+// Sync blocks until every write acknowledged before the call is durable on
+// the backing store. It is the durability barrier for DurabilityAsync (and
+// an early flush for DurabilityGrouped); for DurabilityFull, the in-memory
+// backend, or an idle store it returns immediately. Sync may run
+// concurrently with readers.
+func (t *Tree) Sync() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		return ErrClosed
+	}
+	return mapErr(t.st.Sync())
 }
 
 // Close releases the underlying store. After Close every method of the tree

@@ -40,6 +40,13 @@ var (
 	// ErrInvalidOptions is returned by Open for an Options value that cannot
 	// describe a tree (bad order, short master key, missing layers).
 	ErrInvalidOptions = errors.New("ekbtree: invalid options")
+
+	// ErrLocked is returned by Open when the page file at Options.Path is
+	// already held by another store — in this process or another. The
+	// single-writer lock fails fast instead of letting two engines
+	// shadow-page over each other. Enforced on unix platforms (flock);
+	// elsewhere exclusivity is the caller's responsibility.
+	ErrLocked = errors.New("ekbtree: store file locked by another process")
 )
 
 // mapErr translates internal-layer errors into the façade's sentinel
@@ -50,7 +57,8 @@ func mapErr(err error) error {
 		return nil
 	case errors.Is(err, ErrClosed), errors.Is(err, ErrTooLarge),
 		errors.Is(err, ErrWrongKey), errors.Is(err, ErrConfigMismatch),
-		errors.Is(err, ErrCorrupt), errors.Is(err, ErrInvalidOptions):
+		errors.Is(err, ErrCorrupt), errors.Is(err, ErrInvalidOptions),
+		errors.Is(err, ErrLocked):
 		return err
 	case errors.Is(err, store.ErrClosed):
 		return ErrClosed
@@ -64,6 +72,8 @@ func mapErr(err error) error {
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	case errors.Is(err, node.ErrDecode):
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	case errors.Is(err, file.ErrLocked):
+		return fmt.Errorf("%w: %v", ErrLocked, err)
 	case errors.Is(err, file.ErrCorrupt):
 		// The page file's structural metadata (magic, meta slots, directory
 		// checksums) failed validation at Open. An interrupted commit never

@@ -11,43 +11,84 @@ import (
 // DefaultCachePages is the default capacity of the decoded-node cache.
 const DefaultCachePages = 256
 
+// CacheStats counts decoded-node cache traffic since the tree was opened.
+type CacheStats struct {
+	// Hits is the number of node reads served from memory (the cache or a
+	// batch's staged set) without touching the store.
+	Hits uint64
+	// Misses is the number of node reads that went to the store and paid the
+	// read → decipher → decode round trip.
+	Misses uint64
+	// Evictions is the number of decoded nodes dropped by the clock
+	// replacement policy to make room.
+	Evictions uint64
+	// Pages is the number of decoded nodes currently cached.
+	Pages int
+}
+
 // nodeIO adapts a PageStore + NodeCipher into the btree layer's NodeStore:
 // every node write is encoded then sealed, every read is opened then decoded,
 // so the store only ever holds enciphered pages.
 //
 // On top of the plain adaptation it keeps a bounded write-through cache of
-// decoded nodes, so repeated reads of hot pages (root, upper levels) skip the
-// read→open→decode round trip, and it supports a batch mode in which writes
-// are staged decoded in memory and each touched page is encoded and sealed
-// exactly once at commit, instead of once per mutation.
+// decoded nodes with clock (second-chance) eviction, so repeated reads of hot
+// pages (root, upper levels) skip the read→open→decode round trip and a
+// full-cache workload evicts cold pages before hot ones. It also supports a
+// batch mode in which writes are staged decoded in memory with a dirty bit
+// per page: at commit each DIRTY page is encoded and sealed exactly once,
+// while pages the batch merely read are promoted back to the clean cache
+// without being re-enciphered or rewritten.
 //
 // Locking: the Tree's RWMutex already serializes writers against readers, but
-// concurrent readers may race on the cache map itself, so the cache has its
-// own mutex. Cached *node.Node values are only mutated by the btree layer
-// under the Tree's exclusive lock, and all reads of node contents happen
-// under at least the Tree's read lock, so sharing decoded nodes between the
-// cache and the btree layer is race-free.
+// concurrent readers may race on the cache itself, so the cache has its own
+// mutex. Cached *node.Node values are only mutated by the btree layer under
+// the Tree's exclusive lock, and all reads of node contents happen under at
+// least the Tree's read lock, so sharing decoded nodes between the cache and
+// the btree layer is race-free.
 type nodeIO struct {
 	st store.PageStore
 	nc cipher.NodeCipher
 
 	mu       sync.Mutex
-	cache    map[uint64]*node.Node // clean decoded pages, bounded by maxCache
-	maxCache int                   // 0 disables the cache
+	cacheIdx map[uint64]int // page ID -> slot index; nil disables the cache
+	slots    []cacheSlot    // clock ring, grows up to maxCache
+	hand     int
+	maxCache int
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
 
 	// Batch mode (begin/commit/abort are called under the Tree's exclusive
-	// lock). staged holds dirty decoded pages; nothing below reaches the
-	// store until commitBatch.
+	// lock). staged holds decoded pages the batch has touched; only entries
+	// with dirty set reach the store at commitBatch.
 	batching    bool
-	staged      map[uint64]*node.Node
+	staged      map[uint64]*stagedNode
 	freed       map[uint64]bool
 	pendingRoot *uint64
+}
+
+// cacheSlot is one clock-ring entry: a clean decoded page plus its
+// second-chance reference bit.
+type cacheSlot struct {
+	id  uint64
+	n   *node.Node
+	ref bool
+}
+
+// stagedNode is one batch-staged decoded page. dirty records whether the
+// batch wrote it; clean entries exist so in-batch reads are stable and
+// cheap, and are skipped at commit.
+type stagedNode struct {
+	n     *node.Node
+	dirty bool
 }
 
 func newNodeIO(st store.PageStore, nc cipher.NodeCipher, maxCache int) *nodeIO {
 	io := &nodeIO{st: st, nc: nc, maxCache: maxCache}
 	if maxCache > 0 {
-		io.cache = make(map[uint64]*node.Node, maxCache)
+		io.cacheIdx = make(map[uint64]int, maxCache)
+		io.slots = make([]cacheSlot, 0, maxCache)
 	}
 	return io
 }
@@ -55,15 +96,21 @@ func newNodeIO(st store.PageStore, nc cipher.NodeCipher, maxCache int) *nodeIO {
 func (io *nodeIO) Read(id uint64) (*node.Node, error) {
 	io.mu.Lock()
 	if io.batching {
-		if n, ok := io.staged[id]; ok {
+		if sn, ok := io.staged[id]; ok {
+			io.hits++
 			io.mu.Unlock()
-			return n, nil
+			return sn.n, nil
 		}
 	}
-	if n, ok := io.cache[id]; ok {
+	if n, ok := io.cacheGet(id); ok {
+		io.hits++
+		if io.batching {
+			io.staged[id] = &stagedNode{n: n}
+		}
 		io.mu.Unlock()
 		return n, nil
 	}
+	io.misses++
 	io.mu.Unlock()
 
 	// Miss: decode outside io.mu so concurrent readers decipher in parallel.
@@ -80,6 +127,9 @@ func (io *nodeIO) Read(id uint64) (*node.Node, error) {
 		return nil, err
 	}
 	io.mu.Lock()
+	if io.batching {
+		io.staged[id] = &stagedNode{n: n}
+	}
 	io.cacheInsert(id, n)
 	io.mu.Unlock()
 	return n, nil
@@ -89,12 +139,12 @@ func (io *nodeIO) Write(id uint64, n *node.Node) error {
 	io.mu.Lock()
 	defer io.mu.Unlock()
 	if io.batching {
-		io.staged[id] = n
+		io.staged[id] = &stagedNode{n: n, dirty: true}
 		// A page freed earlier in the same batch and now re-staged is live
 		// again; leaving it in freed would make commit write it and then
 		// immediately release it, dangling every reference to it.
 		delete(io.freed, id)
-		delete(io.cache, id)
+		io.cacheDelete(id)
 		return nil
 	}
 	page, err := io.seal(id, n)
@@ -111,7 +161,7 @@ func (io *nodeIO) Write(id uint64, n *node.Node) error {
 	if err := io.st.CommitPages(map[uint64][]byte{id: page}, root, nil); err != nil {
 		// The store rejected the commit; drop any cached copy so a later
 		// read observes the store's truth, not our intent.
-		delete(io.cache, id)
+		io.cacheDelete(id)
 		return err
 	}
 	io.cacheInsert(id, n)
@@ -127,19 +177,75 @@ func (io *nodeIO) seal(id uint64, n *node.Node) ([]byte, error) {
 	return io.nc.Seal(id, pt)
 }
 
-// cacheInsert stores a clean decoded node, evicting an arbitrary entry if the
-// cache is full. Callers hold io.mu.
+// cacheGet returns a cached decoded node and marks its reference bit, giving
+// it a second chance against the clock hand. Callers hold io.mu.
+func (io *nodeIO) cacheGet(id uint64) (*node.Node, bool) {
+	idx, ok := io.cacheIdx[id]
+	if !ok {
+		return nil, false
+	}
+	io.slots[idx].ref = true
+	return io.slots[idx].n, true
+}
+
+// cacheInsert stores a clean decoded node. When the ring is full the clock
+// hand sweeps forward, clearing reference bits until it finds a page with no
+// second chance left and replaces it — recently-touched pages survive, cold
+// ones go. Callers hold io.mu.
 func (io *nodeIO) cacheInsert(id uint64, n *node.Node) {
-	if io.cache == nil {
+	if io.cacheIdx == nil {
 		return
 	}
-	if _, ok := io.cache[id]; !ok && len(io.cache) >= io.maxCache {
-		for evict := range io.cache {
-			delete(io.cache, evict)
-			break
-		}
+	if idx, ok := io.cacheIdx[id]; ok {
+		io.slots[idx].n = n
+		io.slots[idx].ref = true
+		return
 	}
-	io.cache[id] = n
+	if len(io.slots) < io.maxCache {
+		io.cacheIdx[id] = len(io.slots)
+		io.slots = append(io.slots, cacheSlot{id: id, n: n})
+		return
+	}
+	for io.slots[io.hand].ref {
+		io.slots[io.hand].ref = false
+		io.hand = (io.hand + 1) % len(io.slots)
+	}
+	delete(io.cacheIdx, io.slots[io.hand].id)
+	io.evictions++
+	io.slots[io.hand] = cacheSlot{id: id, n: n}
+	io.cacheIdx[id] = io.hand
+	io.hand = (io.hand + 1) % len(io.slots)
+}
+
+// cacheDelete drops a page from the ring by swapping the last slot into its
+// place. Callers hold io.mu.
+func (io *nodeIO) cacheDelete(id uint64) {
+	idx, ok := io.cacheIdx[id]
+	if !ok {
+		return
+	}
+	last := len(io.slots) - 1
+	if idx != last {
+		io.slots[idx] = io.slots[last]
+		io.cacheIdx[io.slots[idx].id] = idx
+	}
+	io.slots = io.slots[:last]
+	delete(io.cacheIdx, id)
+	if io.hand >= len(io.slots) {
+		io.hand = 0
+	}
+}
+
+// cacheStats snapshots the cache counters.
+func (io *nodeIO) cacheStats() CacheStats {
+	io.mu.Lock()
+	defer io.mu.Unlock()
+	return CacheStats{
+		Hits:      io.hits,
+		Misses:    io.misses,
+		Evictions: io.evictions,
+		Pages:     len(io.slots),
+	}
 }
 
 func (io *nodeIO) Alloc() (uint64, error) { return io.st.Alloc() }
@@ -147,7 +253,7 @@ func (io *nodeIO) Alloc() (uint64, error) { return io.st.Alloc() }
 func (io *nodeIO) Free(id uint64) error {
 	io.mu.Lock()
 	defer io.mu.Unlock()
-	delete(io.cache, id)
+	io.cacheDelete(id)
 	if io.batching {
 		delete(io.staged, id)
 		io.freed[id] = true
@@ -185,46 +291,64 @@ func (io *nodeIO) SetRoot(id uint64) error {
 func (io *nodeIO) invalidate() {
 	io.mu.Lock()
 	defer io.mu.Unlock()
-	if io.cache != nil {
-		io.cache = make(map[uint64]*node.Node, io.maxCache)
-	}
+	io.cacheReset()
 }
 
-// beginBatch enters batch mode: subsequent writes stage decoded nodes in
-// memory and root updates are deferred. Called under the Tree's exclusive
-// lock.
+// cacheReset drops every cached node, keeping the counters. Callers hold
+// io.mu.
+func (io *nodeIO) cacheReset() {
+	if io.cacheIdx == nil {
+		return
+	}
+	io.cacheIdx = make(map[uint64]int, io.maxCache)
+	io.slots = io.slots[:0]
+	io.hand = 0
+}
+
+// beginBatch enters batch mode: subsequent writes stage decoded pages in
+// memory (dirty), reads pin the pages they touch (clean), and root updates
+// are deferred. Called under the Tree's exclusive lock.
 func (io *nodeIO) beginBatch() {
 	io.mu.Lock()
 	defer io.mu.Unlock()
 	io.batching = true
-	io.staged = make(map[uint64]*node.Node)
+	io.staged = make(map[uint64]*stagedNode)
 	io.freed = make(map[uint64]bool)
 	io.pendingRoot = nil
 }
 
-// commitBatch leaves batch mode, sealing each staged page exactly once and
-// handing the whole batch — pages, root, frees — to the store's atomic
-// CommitPages hook, so a durable backend applies it all-or-nothing. On error
-// the batch is aborted and the cache invalidated; the store is untouched
-// (seal failures happen before the store sees anything, and a failed
-// CommitPages applies nothing by contract).
+// commitBatch leaves batch mode, sealing each DIRTY staged page exactly once
+// and handing the whole batch — pages, root, frees — to the store's atomic
+// CommitPages hook, so a durable backend applies it all-or-nothing. Pages the
+// batch only read are never re-enciphered or rewritten; they are promoted to
+// the clean cache along with the dirty ones. On error the batch is aborted
+// and the cache invalidated (seal failures happen before the store sees
+// anything; a file-backed store whose flush fails is fail-stop and recovers
+// on reopen).
 func (io *nodeIO) commitBatch() error {
 	io.mu.Lock()
 	defer io.mu.Unlock()
-	if len(io.staged) == 0 && len(io.freed) == 0 && io.pendingRoot == nil {
-		// Nothing changed; skip the store round trip (and its fsyncs).
-		io.batching = false
-		io.staged, io.freed = nil, nil
-		return nil
-	}
-	writes := make(map[uint64][]byte, len(io.staged))
-	for id, n := range io.staged {
-		page, err := io.seal(id, n)
+	writes := make(map[uint64][]byte)
+	for id, sn := range io.staged {
+		if !sn.dirty {
+			continue
+		}
+		page, err := io.seal(id, sn.n)
 		if err != nil {
 			io.abortLocked()
 			return err
 		}
 		writes[id] = page
+	}
+	if len(writes) == 0 && len(io.freed) == 0 && io.pendingRoot == nil {
+		// Nothing changed; skip the store round trip (and its fsyncs), but
+		// keep the pages the batch read warm.
+		for id, sn := range io.staged {
+			io.cacheInsert(id, sn.n)
+		}
+		io.batching = false
+		io.staged, io.freed = nil, nil
+		return nil
 	}
 	root := io.pendingRoot
 	if root == nil {
@@ -246,8 +370,8 @@ func (io *nodeIO) commitBatch() error {
 		return err
 	}
 	// Promote staged nodes to the clean cache: they now match the store.
-	for id, n := range io.staged {
-		io.cacheInsert(id, n)
+	for id, sn := range io.staged {
+		io.cacheInsert(id, sn.n)
 	}
 	io.batching = false
 	io.staged, io.freed, io.pendingRoot = nil, nil, nil
@@ -266,7 +390,5 @@ func (io *nodeIO) abortBatch() {
 func (io *nodeIO) abortLocked() {
 	io.batching = false
 	io.staged, io.freed, io.pendingRoot = nil, nil, nil
-	if io.cache != nil {
-		io.cache = make(map[uint64]*node.Node, io.maxCache)
-	}
+	io.cacheReset()
 }

@@ -20,6 +20,7 @@ import (
 type result struct {
 	Pkg         string  `json:"pkg"`
 	Name        string  `json:"name"`
+	Durability  string  `json:"durability,omitempty"`
 	Iters       int64   `json:"iters"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -87,6 +88,16 @@ func main() {
 			if _, err := strconv.Atoi(r.Name[i+1:]); err == nil {
 				r.Name = r.Name[:i]
 			}
+		}
+		// Benchmarks over the tiered-durability file backend encode the mode
+		// as a sub-benchmark path element (".../durability=grouped/...");
+		// surface it as its own field so tooling can compare modes directly.
+		if i := strings.Index(r.Name, "durability="); i >= 0 {
+			mode := r.Name[i+len("durability="):]
+			if j := strings.IndexByte(mode, '/'); j >= 0 {
+				mode = mode[:j]
+			}
+			r.Durability = mode
 		}
 		var err error
 		if r.Iters, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
