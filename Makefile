@@ -5,7 +5,7 @@ SHELL := /bin/bash
 BENCH_PKGS = ./internal/btree/ ./internal/store/file/ ./pkg/ekbtree/
 BENCH_NOTE ?= local run
 
-.PHONY: all build vet fmt-check test race bench bench-raw bench-smoke clean
+.PHONY: all build vet fmt-check test race bench bench-raw bench-smoke fuzz-smoke clean
 
 all: vet fmt-check build test
 
@@ -43,6 +43,15 @@ bench-raw:
 # and exercises every durability mode.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x $(BENCH_PKGS)
+
+# fuzz-smoke runs each fuzz target briefly (the checked-in seed corpora under
+# internal/*/testdata/fuzz always run as plain tests; this actually mutates).
+# FUZZTIME=5m fuzz-smoke for a longer local session.
+FUZZTIME ?= 15s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/node/
+	$(GO) test -run '^$$' -fuzz '^FuzzSubstituteRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/keysub/
+	$(GO) test -run '^$$' -fuzz '^FuzzSubstituteRange$$' -fuzztime $(FUZZTIME) ./internal/keysub/
 
 clean:
 	$(GO) clean ./...

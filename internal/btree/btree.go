@@ -17,12 +17,20 @@ import (
 // NodeStore reads and writes B-tree nodes by page ID. The façade implements
 // it by composing node encoding, node encipherment, and a PageStore.
 type NodeStore interface {
-	Read(id uint64) (*node.Node, error)
+	Reader
 	Write(id uint64, n *node.Node) error
 	Alloc() (uint64, error)
 	Free(id uint64) error
 	Root() (uint64, error)
 	SetRoot(id uint64) error
+}
+
+// Reader is the read-only subset of NodeStore. Snapshot readers hand the
+// package-level read functions (Lookup, ScanRangeIn, StatsIn, NewIter) a
+// Reader resolving pages as of a pinned version, together with that version's
+// root, so reads need no access to the mutable tree at all.
+type Reader interface {
+	Read(id uint64) (*node.Node, error)
 }
 
 // MinDegree is the smallest legal minimum degree t: nodes hold at most 2t-1
@@ -58,18 +66,26 @@ func (tr *Tree) Get(key []byte) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	if id == store.NoRoot {
+	return Lookup(tr.st, id, key)
+}
+
+// Lookup searches for key in the tree rooted at rootID, reading pages through
+// r. It is the snapshot-read form of Get: the caller supplies the root of the
+// version it wants to read, and r resolves every page as of that version. The
+// returned value aliases the node buffer; callers copy if they retain it.
+func Lookup(r Reader, rootID uint64, key []byte) ([]byte, bool, error) {
+	if rootID == store.NoRoot {
 		return nil, false, nil
 	}
-	n, err := tr.st.Read(id)
+	n, err := r.Read(rootID)
 	if err != nil {
 		return nil, false, err
 	}
-	return tr.lookupFrom(n, key)
+	return lookupFrom(r, n, key)
 }
 
 // lookupFrom is a read-only descent for key in the subtree rooted at n.
-func (tr *Tree) lookupFrom(n *node.Node, key []byte) ([]byte, bool, error) {
+func lookupFrom(r Reader, n *node.Node, key []byte) ([]byte, bool, error) {
 	for {
 		i, eq := n.Search(key)
 		if eq {
@@ -79,7 +95,7 @@ func (tr *Tree) lookupFrom(n *node.Node, key []byte) ([]byte, bool, error) {
 			return nil, false, nil
 		}
 		var err error
-		if n, err = tr.st.Read(n.Children[i]); err != nil {
+		if n, err = r.Read(n.Children[i]); err != nil {
 			return nil, false, err
 		}
 	}
@@ -91,7 +107,7 @@ func (tr *Tree) lookupFrom(n *node.Node, key []byte) ([]byte, bool, error) {
 // tree. The extra descent is read-only and touches only nodes the insert
 // would read anyway.
 func (tr *Tree) isNoOpPut(n *node.Node, key, value []byte) (bool, error) {
-	v, ok, err := tr.lookupFrom(n, key)
+	v, ok, err := lookupFrom(tr.st, n, key)
 	if err != nil {
 		return false, err
 	}
@@ -289,7 +305,7 @@ func (tr *Tree) delete(id uint64, n *node.Node, key []byte) (bool, error) {
 	if len(c.Keys) < tr.t {
 		// Deleting an absent key must not restructure the tree: check the
 		// subtree read-only before borrowing or merging on the way down.
-		if _, ok, err := tr.lookupFrom(c, key); err != nil || !ok {
+		if _, ok, err := lookupFrom(tr.st, c, key); err != nil || !ok {
 			return false, err
 		}
 		if err := tr.fill(id, n, i); err != nil {
@@ -462,11 +478,7 @@ func (tr *Tree) Scan(fn func(key, value []byte) bool) error {
 	if err != nil {
 		return err
 	}
-	if rootID == store.NoRoot {
-		return nil
-	}
-	_, err = tr.scan(rootID, nil, nil, fn)
-	return err
+	return ScanRangeIn(tr.st, rootID, nil, nil, fn)
 }
 
 // ScanRange visits entries with from <= key < to in ascending order. A nil
@@ -476,15 +488,22 @@ func (tr *Tree) ScanRange(from, to []byte, fn func(key, value []byte) bool) erro
 	if err != nil {
 		return err
 	}
+	return ScanRangeIn(tr.st, rootID, from, to, fn)
+}
+
+// ScanRangeIn is the snapshot-read form of ScanRange: it visits entries with
+// from <= key < to in the tree rooted at rootID, reading pages through r. The
+// slices passed to fn alias node buffers; fn copies what it retains.
+func ScanRangeIn(r Reader, rootID uint64, from, to []byte, fn func(key, value []byte) bool) error {
 	if rootID == store.NoRoot {
 		return nil
 	}
-	_, err = tr.scan(rootID, from, to, fn)
+	_, err := scan(r, rootID, from, to, fn)
 	return err
 }
 
-func (tr *Tree) scan(id uint64, from, to []byte, fn func(key, value []byte) bool) (bool, error) {
-	n, err := tr.st.Read(id)
+func scan(r Reader, id uint64, from, to []byte, fn func(key, value []byte) bool) (bool, error) {
+	n, err := r.Read(id)
 	if err != nil {
 		return false, err
 	}
@@ -494,7 +513,7 @@ func (tr *Tree) scan(id uint64, from, to []byte, fn func(key, value []byte) bool
 	}
 	for i := start; i <= len(n.Keys); i++ {
 		if !n.Leaf {
-			cont, err := tr.scan(n.Children[i], from, to, fn)
+			cont, err := scan(r, n.Children[i], from, to, fn)
 			if err != nil || !cont {
 				return cont, err
 			}
@@ -516,43 +535,6 @@ func (tr *Tree) scan(id uint64, from, to []byte, fn func(key, value []byte) bool
 	return true, nil
 }
 
-// Entry is one key/value pair collected from the tree. Both slices are fresh
-// copies owned by the caller; they never alias node buffers.
-type Entry struct {
-	Key   []byte
-	Value []byte
-}
-
-// CollectRange collects up to max entries with from <= key < to in ascending
-// (substituted) key order, copying keys and values into fresh buffers. When
-// afterFrom is set the lower bound is exclusive (from < key), which lets a
-// cursor resume after the last key of a previous batch. Nil bounds are
-// unbounded; max <= 0 collects the whole range.
-//
-// The returned more flag reports whether entries remain in the range beyond
-// the ones returned: the scan looks one entry past max, so a range holding
-// exactly max entries comes back with more == false and the caller never
-// needs a follow-up descent to discover exhaustion.
-func (tr *Tree) CollectRange(from, to []byte, afterFrom bool, max int) ([]Entry, bool, error) {
-	var out []Entry
-	more := false
-	err := tr.ScanRange(from, to, func(k, v []byte) bool {
-		if afterFrom && from != nil && bytes.Equal(k, from) {
-			return true
-		}
-		if max > 0 && len(out) == max {
-			more = true
-			return false
-		}
-		out = append(out, Entry{
-			Key:   append([]byte(nil), k...),
-			Value: append([]byte(nil), v...),
-		})
-		return true
-	})
-	return out, more, err
-}
-
 // Stats describes tree shape, for diagnostics and benchmarks.
 type Stats struct {
 	Keys   int
@@ -562,20 +544,26 @@ type Stats struct {
 
 // Stats walks the whole tree; it is O(nodes).
 func (tr *Tree) Stats() (Stats, error) {
-	var s Stats
 	rootID, err := tr.st.Root()
 	if err != nil {
-		return s, err
+		return Stats{}, err
 	}
+	return StatsIn(tr.st, rootID)
+}
+
+// StatsIn is the snapshot-read form of Stats, walking the tree rooted at
+// rootID through r.
+func StatsIn(r Reader, rootID uint64) (Stats, error) {
+	var s Stats
 	if rootID == store.NoRoot {
 		return s, nil
 	}
-	err = tr.stats(rootID, 1, &s)
+	err := stats(r, rootID, 1, &s)
 	return s, err
 }
 
-func (tr *Tree) stats(id uint64, depth int, s *Stats) error {
-	n, err := tr.st.Read(id)
+func stats(r Reader, id uint64, depth int, s *Stats) error {
+	n, err := r.Read(id)
 	if err != nil {
 		return err
 	}
@@ -585,7 +573,7 @@ func (tr *Tree) stats(id uint64, depth int, s *Stats) error {
 		s.Height = depth
 	}
 	for _, c := range n.Children {
-		if err := tr.stats(c, depth+1, s); err != nil {
+		if err := stats(r, c, depth+1, s); err != nil {
 			return err
 		}
 	}

@@ -373,89 +373,6 @@ func TestScanRange(t *testing.T) {
 	}
 }
 
-// TestCollectRange checks batched entry collection: inclusive/exclusive
-// lower bounds, the max cap, buffer freshness, and resumption across batches
-// reassembling a full scan.
-func TestCollectRange(t *testing.T) {
-	tr, _ := newTestTree(t, 2)
-	const n = 100
-	for i := 0; i < n; i++ {
-		if err := tr.Put(key(i), key(i)); err != nil {
-			t.Fatal(err)
-		}
-	}
-
-	ents, more, err := tr.CollectRange(key(10), key(15), false, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(ents) != 5 || !bytes.Equal(ents[0].Key, key(10)) || !bytes.Equal(ents[4].Key, key(14)) {
-		t.Fatalf("CollectRange inclusive = %d entries [%x..]", len(ents), ents[0].Key)
-	}
-	if more {
-		t.Error("unbounded CollectRange reported more entries")
-	}
-
-	ents, more, err = tr.CollectRange(key(10), key(15), true, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(ents) != 4 || !bytes.Equal(ents[0].Key, key(11)) {
-		t.Fatalf("CollectRange exclusive = %d entries starting %x", len(ents), ents[0].Key)
-	}
-	if more {
-		t.Error("unbounded exclusive CollectRange reported more entries")
-	}
-
-	ents, more, err = tr.CollectRange(nil, nil, false, 7)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(ents) != 7 {
-		t.Fatalf("CollectRange max=7 returned %d entries", len(ents))
-	}
-	if !more {
-		t.Error("capped CollectRange with entries remaining reported more=false")
-	}
-
-	// A range holding exactly max entries reports exhaustion immediately: no
-	// follow-up call is needed to discover the end.
-	ents, more, err = tr.CollectRange(key(10), key(15), false, 5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(ents) != 5 || more {
-		t.Fatalf("exact-fit CollectRange = %d entries, more=%v; want 5, false", len(ents), more)
-	}
-
-	// Resuming after each batch's last key reassembles the full ordered scan,
-	// with the more flag going false exactly on the final batch.
-	var all []Entry
-	var from []byte
-	for {
-		batch, more, err := tr.CollectRange(from, nil, from != nil, 9)
-		if err != nil {
-			t.Fatal(err)
-		}
-		all = append(all, batch...)
-		if !more {
-			if len(all) != n {
-				t.Fatalf("more went false after %d of %d entries", len(all), n)
-			}
-			break
-		}
-		from = batch[len(batch)-1].Key
-	}
-	if len(all) != n {
-		t.Fatalf("resumed collection visited %d entries, want %d", len(all), n)
-	}
-	for i, e := range all {
-		if !bytes.Equal(e.Key, key(i)) {
-			t.Fatalf("resumed collection out of order at %d", i)
-		}
-	}
-}
-
 // TestRandomizedOps fuzzes interleaved put/get/delete against a reference map
 // and checks structural invariants throughout.
 func TestRandomizedOps(t *testing.T) {

@@ -1,0 +1,79 @@
+package node
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the page decoder. Decode must never
+// panic; when it accepts a page, the codec must be canonical: re-encoding
+// the decoded node reproduces the input byte-for-byte, and the decoded node
+// must satisfy the structural invariants Encode enforces.
+func FuzzDecode(f *testing.F) {
+	// Seed with valid encodings of representative shapes (plus the checked-in
+	// corpus under testdata/fuzz/FuzzDecode).
+	seeds := []*Node{
+		{Leaf: true},
+		{Leaf: true, Keys: [][]byte{{0x01}}, Values: [][]byte{{0xAA, 0xBB}}},
+		{Leaf: true, Keys: [][]byte{{}, {0x00}, {0x00, 0x01}}, Values: [][]byte{{}, {}, {0xFF}}},
+		{
+			Leaf:     false,
+			Keys:     [][]byte{[]byte("m")},
+			Values:   [][]byte{[]byte("v")},
+			Children: []uint64{3, 9},
+		},
+		{
+			Leaf:     false,
+			Keys:     [][]byte{bytes.Repeat([]byte{0x7F}, 24), bytes.Repeat([]byte{0x80}, 24)},
+			Values:   [][]byte{bytes.Repeat([]byte{0x01}, 64), {}},
+			Children: []uint64{1, 1 << 40, ^uint64(0)},
+		},
+	}
+	for _, n := range seeds {
+		page, err := n.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(page)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xEB, 0x01, 0x00, 0x00, 0x00})
+
+	f.Fuzz(func(t *testing.T, page []byte) {
+		n, err := Decode(page)
+		if err != nil {
+			return
+		}
+		if len(n.Keys) != len(n.Values) {
+			t.Fatalf("decoded %d keys but %d values", len(n.Keys), len(n.Values))
+		}
+		if n.Leaf && len(n.Children) != 0 {
+			t.Fatalf("decoded leaf with %d children", len(n.Children))
+		}
+		if !n.Leaf && len(n.Children) != len(n.Keys)+1 {
+			t.Fatalf("decoded internal node with %d keys but %d children", len(n.Keys), len(n.Children))
+		}
+		reenc, err := n.Encode()
+		if err != nil {
+			t.Fatalf("re-encode of decoded node failed: %v", err)
+		}
+		if !bytes.Equal(reenc, page) {
+			t.Fatalf("codec not canonical:\n in  %x\n out %x", page, reenc)
+		}
+		if got := n.EncodedSize(); got != len(page) {
+			t.Fatalf("EncodedSize = %d, page is %d bytes", got, len(page))
+		}
+		// The decoded node must not alias the page: clobber the input and
+		// re-encode again.
+		for i := range page {
+			page[i] ^= 0xFF
+		}
+		reenc2, err := n.Encode()
+		if err != nil {
+			t.Fatalf("re-encode after input clobber failed: %v", err)
+		}
+		if !bytes.Equal(reenc, reenc2) {
+			t.Fatal("decoded node aliases the input page")
+		}
+	})
+}

@@ -117,15 +117,32 @@ func (n *Node) Encode() ([]byte, error) {
 }
 
 // Decode parses a page produced by Encode. The returned node owns fresh
-// buffers and does not alias the page.
+// buffers and does not alias the page. All key and value bytes share one
+// backing buffer (allocated once, sized by the page) rather than one
+// allocation each — decoding is on the cache-miss path of every read, and
+// per-entry allocations dominated its cost. Each key/value slice is
+// capacity-clipped, so appending to one can never clobber its neighbors.
 func Decode(page []byte) (*Node, error) {
 	if len(page) < headerSize || page[0] != magic || page[1] != version {
 		return nil, ErrDecode
 	}
 	flags := page[2]
+	if flags&^byte(flagLeaf) != 0 {
+		// Unknown flag bits: reject rather than silently dropping them, so
+		// every accepted page re-encodes byte-identically (canonical codec).
+		return nil, ErrDecode
+	}
 	nkeys := int(binary.BigEndian.Uint16(page[3:5]))
 	n := &Node{Leaf: flags&flagLeaf != 0}
 	rest := page[headerSize:]
+	// The payload (keys + values) is strictly smaller than the page, so buf
+	// never reallocates and every sub-slice below shares its backing array.
+	buf := make([]byte, 0, len(page)-headerSize)
+	take := func(src []byte) []byte {
+		start := len(buf)
+		buf = append(buf, src...)
+		return buf[start:len(buf):len(buf)]
+	}
 
 	n.Keys = make([][]byte, nkeys)
 	for i := range n.Keys {
@@ -137,7 +154,7 @@ func Decode(page []byte) (*Node, error) {
 		if len(rest) < klen {
 			return nil, ErrDecode
 		}
-		n.Keys[i] = append([]byte(nil), rest[:klen]...)
+		n.Keys[i] = take(rest[:klen])
 		rest = rest[klen:]
 	}
 	n.Values = make([][]byte, nkeys)
@@ -152,9 +169,8 @@ func Decode(page []byte) (*Node, error) {
 		if uint64(len(rest)) < uint64(vlen32) {
 			return nil, ErrDecode
 		}
-		vlen := int(vlen32)
-		n.Values[i] = append([]byte(nil), rest[:vlen]...)
-		rest = rest[vlen:]
+		n.Values[i] = take(rest[:vlen32])
+		rest = rest[vlen32:]
 	}
 	if !n.Leaf {
 		nchildren := nkeys + 1

@@ -90,10 +90,38 @@ func (s *Store) enqueueLocked(writes map[uint64][]byte, root uint64, frees []uin
 		s.ameta = append([]byte(nil), meta...)
 		g.meta, g.setMeta = s.ameta, true
 	}
-	if g.bytes >= flushThreshold {
+	if s.cfg.Durability == Async && g.bytes >= s.cfg.maxUnflushed() {
+		// Nothing else flushes an Async store, so an over-bound group starts
+		// a background flush; meanwhile waitCapacityLocked blocks further
+		// enqueues, so producers feel backpressure instead of growing the
+		// overlay. Grouped mode deliberately does NOT force here — its
+		// window keeps its coalescing promise and the blocked enqueues wait
+		// for the window flush.
 		s.force = true
 	}
 	return g.res
+}
+
+// waitCapacityLocked blocks, releasing and re-acquiring s.mu, while the
+// pending group is at or over the MaxUnflushed payload bound. It returns
+// with s.mu held and capacity available (or the store closed/failed, which
+// the caller re-checks). A fresh pending group always has capacity, so a
+// single oversized commit is admitted rather than deadlocked.
+func (s *Store) waitCapacityLocked() {
+	for {
+		g := s.pending
+		if s.closed || s.failed || g == nil || g.bytes < s.cfg.maxUnflushed() {
+			return
+		}
+		res := g.res
+		if s.cfg.Durability == Async {
+			s.force = true
+		}
+		s.mu.Unlock()
+		s.wake()
+		<-res.done
+		s.mu.Lock()
+	}
 }
 
 // liveBelowPendingLocked reports whether id maps to a page in the state the
@@ -125,10 +153,12 @@ func (s *Store) failedErrLocked() error {
 	}
 }
 
-// commit is the single mutation entry point: validate, enqueue, wake the
-// committer, and wait according to the durability mode.
+// commit is the single mutation entry point: wait for pending-group
+// capacity, validate, enqueue, wake the committer, and wait according to the
+// durability mode.
 func (s *Store) commit(writes map[uint64][]byte, root uint64, frees []uint64, meta []byte, setMeta bool) error {
 	s.mu.Lock()
+	s.waitCapacityLocked()
 	if s.closed {
 		s.mu.Unlock()
 		return store.ErrClosed

@@ -107,12 +107,15 @@ const (
 	Full Durability = iota
 	// Grouped acknowledges commits as soon as they are applied in memory;
 	// the committer flushes the accumulated group once it is GroupWindow old
-	// (or sooner on Sync/Close/backpressure). A crash loses at most the last
+	// (or sooner on Sync/Close). When the group reaches Config.MaxUnflushed,
+	// new commits block until the window flush drains it — backpressure
+	// never forces a flush mid-window. A crash loses at most the last
 	// window of acknowledged commits, never a torn state.
 	Grouped
 	// Async acknowledges commits immediately and flushes only on Sync,
-	// Close, or backpressure. After Sync returns, everything enqueued before
-	// it is durable; a crash earlier loses un-synced groups whole.
+	// Close, or MaxUnflushed backpressure (which blocks new commits while
+	// the flush runs). After Sync returns, everything enqueued before it is
+	// durable; a crash earlier loses un-synced groups whole.
 	Async
 )
 
@@ -133,9 +136,9 @@ func (d Durability) String() string {
 // Config.GroupWindow is zero.
 const DefaultGroupWindow = 2 * time.Millisecond
 
-// flushThreshold is the pending-overlay size at which the committer flushes
-// regardless of mode, bounding memory between Sync calls.
-const flushThreshold = 4 << 20
+// DefaultMaxUnflushed is the pending-overlay payload bound used when
+// Config.MaxUnflushed is zero.
+const DefaultMaxUnflushed = 4 << 20
 
 // Config tunes the write pipeline. The zero value is Full durability.
 type Config struct {
@@ -144,6 +147,20 @@ type Config struct {
 	// GroupWindow bounds how long a Grouped-mode commit may sit unflushed.
 	// Zero means DefaultGroupWindow. Ignored in other modes.
 	GroupWindow time.Duration
+	// MaxUnflushed bounds the payload bytes the pending (not yet flushing)
+	// commit group may accumulate. Once the pending group is at or over the
+	// bound, further commits BLOCK until it has flushed, instead of growing
+	// memory without limit: backpressure is applied to the producers rather
+	// than by forcing an early flush that would break the Grouped window's
+	// coalescing. (In Async mode, where nothing else would flush, reaching
+	// the bound also starts a background flush; the blocked committers still
+	// wait for it rather than overshooting.) The bound is per group, and a
+	// single commit larger than it is always admitted on an empty group, so
+	// total unflushed payload can reach roughly twice MaxUnflushed — one
+	// full group being flushed plus one full pending group — plus one
+	// commit's payload per committer admitted in the same round. Zero means
+	// DefaultMaxUnflushed; negative is invalid.
+	MaxUnflushed int
 }
 
 func (c Config) window() time.Duration {
@@ -151,6 +168,13 @@ func (c Config) window() time.Duration {
 		return DefaultGroupWindow
 	}
 	return c.GroupWindow
+}
+
+func (c Config) maxUnflushed() int {
+	if c.MaxUnflushed <= 0 {
+		return DefaultMaxUnflushed
+	}
+	return c.MaxUnflushed
 }
 
 func (c Config) validate() error {
@@ -161,6 +185,9 @@ func (c Config) validate() error {
 	}
 	if c.GroupWindow < 0 {
 		return fmt.Errorf("file: negative group window %v", c.GroupWindow)
+	}
+	if c.MaxUnflushed < 0 {
+		return fmt.Errorf("file: negative max unflushed bound %d", c.MaxUnflushed)
 	}
 	return nil
 }

@@ -183,25 +183,26 @@ func TestAsyncCloseFlushes(t *testing.T) {
 	}
 }
 
-// TestBackpressureFlush pins the memory bound: a pending overlay past the
-// flush threshold forces a flush even in Async mode, without any Sync.
+// TestBackpressureFlush pins the Async memory bound: a pending overlay at
+// the MaxUnflushed bound starts a background flush even in Async mode,
+// without any Sync (nothing else would ever flush it).
 func TestBackpressureFlush(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "pressure.ekb")
-	s, err := OpenConfig(path, Config{Durability: Async})
+	s, err := OpenConfig(path, Config{Durability: Async, MaxUnflushed: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s.Close()
 	base := s.Txid()
 	id, _ := s.Alloc()
-	big := bytes.Repeat([]byte{0x42}, flushThreshold+1)
+	big := bytes.Repeat([]byte{0x42}, 4096+1)
 	if err := s.CommitPages(map[uint64][]byte{id: big}, id, nil); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for s.Txid() == base {
 		if time.Now().After(deadline) {
-			t.Fatal("over-threshold async commit never flushed")
+			t.Fatal("over-bound async commit never flushed")
 		}
 		time.Sleep(time.Millisecond)
 	}

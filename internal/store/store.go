@@ -22,7 +22,15 @@ var ErrClosed = errors.New("store: closed")
 const NoRoot uint64 = 0
 
 // PageStore stores sealed pages. Implementations must be safe for concurrent
-// use.
+// use: the engine above runs lock-free snapshot readers against the store
+// while commits are in flight, so ReadPage must be callable at any moment —
+// including during CommitPages — and must always return some page state that
+// existed (pre- or post-commit), never a torn one. The engine's epoch layer
+// guarantees that a page rewritten or freed by a commit is never *required*
+// from the store by a snapshot reader afterwards (superseded versions are
+// served from the epoch's in-memory undo overlay), so stores may release
+// freed pages as part of the commit itself; a racing ReadPage of a
+// just-freed page may simply return ErrNotFound.
 type PageStore interface {
 	// ReadPage returns the page's contents. The returned buffer is owned by
 	// the caller and never aliases the store's copy.

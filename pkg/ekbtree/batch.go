@@ -10,7 +10,7 @@ package ekbtree
 //
 // Operations are applied in the order they were staged, so a later Put or
 // Delete of the same key wins. Staging (Put/Delete) does not touch the tree
-// and never blocks; only Commit takes the tree's write lock. A Batch is not
+// and never blocks; only Commit takes the tree's writer lock. A Batch is not
 // safe for concurrent use by multiple goroutines.
 //
 // After Commit or Discard the batch is spent: further calls return ErrClosed.
@@ -66,8 +66,12 @@ func (b *Batch) Len() int {
 	return len(b.ops)
 }
 
-// Commit applies all staged operations under the tree's write lock, sealing
-// each touched page once. The batch is spent either way.
+// Commit applies all staged operations under the tree's writer lock, sealing
+// each touched page once, and publishes the result as ONE new epoch: a
+// concurrent reader or cursor either observes the tree from before the batch
+// or after all of it, never a half-applied state. Readers are not blocked
+// while Commit runs — they keep reading the previous epoch until the flip.
+// The batch is spent either way.
 //
 // Commit is atomic. If it fails while applying operations (before the
 // flush), nothing has reached the store and the tree is unchanged. The flush
@@ -94,25 +98,20 @@ func (b *Batch) Commit() error {
 	ops := b.ops
 	b.ops = nil
 	t := b.t
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
-		return ErrClosed
-	}
-	t.io.beginBatch()
-	for _, op := range ops {
-		var err error
-		if op.del {
-			_, err = t.bt.Delete(op.sk)
-		} else {
-			err = t.bt.Put(op.sk, op.value)
+	return t.applyCommit(func() error {
+		for _, op := range ops {
+			var err error
+			if op.del {
+				_, err = t.bt.Delete(op.sk)
+			} else {
+				err = t.bt.Put(op.sk, op.value)
+			}
+			if err != nil {
+				return err
+			}
 		}
-		if err != nil {
-			t.io.abortBatch()
-			return mapErr(err)
-		}
-	}
-	return mapErr(t.io.commitBatch())
+		return nil
+	})
 }
 
 // Discard drops all staged operations without applying them. The batch is

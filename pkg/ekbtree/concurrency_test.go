@@ -1,0 +1,350 @@
+package ekbtree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/paper-repro/ekbtree/internal/store"
+)
+
+// gateStore wraps a PageStore and, when armed, parks every CommitPages call
+// on a gate channel — simulating an arbitrarily slow flush so tests can
+// prove readers do not wait for in-flight commits.
+type gateStore struct {
+	store.PageStore
+	armed   atomic.Bool
+	gate    chan struct{} // receives release
+	entered chan struct{} // closed once a commit is parked
+	once    sync.Once
+}
+
+func newGateStore() *gateStore {
+	return &gateStore{
+		PageStore: store.NewMem(),
+		gate:      make(chan struct{}),
+		entered:   make(chan struct{}),
+	}
+}
+
+func (g *gateStore) CommitPages(writes map[uint64][]byte, root uint64, frees []uint64) error {
+	if g.armed.Load() {
+		g.once.Do(func() { close(g.entered) })
+		<-g.gate
+	}
+	return g.PageStore.CommitPages(writes, root, frees)
+}
+
+// TestGetDoesNotWaitForCommit is the acceptance check for lock-free reads:
+// while a batch commit is parked inside the store flush, Gets, a full cursor
+// scan, and Stats all complete promptly — and observe exactly the pre-batch
+// state. Under the old RWMutex design every one of these would block until
+// the flush finished.
+func TestGetDoesNotWaitForCommit(t *testing.T) {
+	gs := newGateStore()
+	tr := mustOpen(t, Options{MasterKey: bytes.Repeat([]byte{0xC1}, 32), Order: 8, Store: gs})
+	defer tr.Close()
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("old")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	gs.armed.Store(true)
+	commitDone := make(chan error, 1)
+	go func() {
+		b := tr.NewBatch()
+		for i := 0; i < n; i++ {
+			if err := b.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("new")); err != nil {
+				commitDone <- err
+				return
+			}
+		}
+		commitDone <- b.Commit()
+	}()
+	select {
+	case <-gs.entered:
+	case err := <-commitDone:
+		t.Fatalf("commit finished before reaching the store: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("commit never reached the store")
+	}
+
+	// The flush is parked. Reads must complete now, from the previous epoch.
+	readsDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < 100; i++ {
+			k := []byte(fmt.Sprintf("k%04d", i*4))
+			v, ok, err := tr.Get(k)
+			if err != nil || !ok {
+				readsDone <- fmt.Errorf("Get(%s) = (%v, %v) during in-flight commit", k, ok, err)
+				return
+			}
+			if string(v) != "old" {
+				readsDone <- fmt.Errorf("Get(%s) = %q during in-flight commit, want pre-batch value", k, v)
+				return
+			}
+		}
+		count := 0
+		err := tr.Scan(func(_, v []byte) bool {
+			if string(v) != "old" {
+				err := fmt.Errorf("scan observed %q during in-flight commit", v)
+				readsDone <- err
+				return false
+			}
+			count++
+			return true
+		})
+		if err != nil {
+			readsDone <- err
+			return
+		}
+		if count != n {
+			readsDone <- fmt.Errorf("scan during in-flight commit visited %d entries, want %d", count, n)
+			return
+		}
+		if _, err := tr.Stats(); err != nil {
+			readsDone <- err
+			return
+		}
+		readsDone <- nil
+	}()
+	select {
+	case err := <-readsDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("reads blocked behind the in-flight commit")
+	}
+	select {
+	case err := <-commitDone:
+		t.Fatalf("commit completed before the gate opened: %v", err)
+	default:
+	}
+
+	gs.armed.Store(false)
+	close(gs.gate)
+	if err := <-commitDone; err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := tr.Get([]byte("k0000")); err != nil || !ok || string(v) != "new" {
+		t.Fatalf("Get after commit = (%q, %v, %v), want new", v, ok, err)
+	}
+}
+
+// failingStore wraps a PageStore and, when armed, rejects every CommitPages
+// outright (applying nothing), like a fail-stopped durable store rejecting
+// at the door.
+type failingStore struct {
+	store.PageStore
+	armed atomic.Bool
+}
+
+var errCommitRefused = fmt.Errorf("injected: commit refused")
+
+func (f *failingStore) CommitPages(writes map[uint64][]byte, root uint64, frees []uint64) error {
+	if f.armed.Load() {
+		return errCommitRefused
+	}
+	return f.PageStore.CommitPages(writes, root, frees)
+}
+
+// epochChainLen counts the tree's epoch chain, head to tail.
+func epochChainLen(t *Tree) int {
+	t.es.mu.Lock()
+	defer t.es.mu.Unlock()
+	n := 0
+	for e := t.es.head; e != nil; e = e.next.Load() {
+		n++
+	}
+	return n
+}
+
+// TestFailedCommitsDoNotGrowEpochChain is the regression test for retry
+// loops against a failing store: the first failed commit may keep its
+// provisional epoch (its pre-images can be load-bearing on a fail-stopped
+// durable store), but repeated failures must not grow the epoch chain — or
+// every reader's overlay walk — without bound, and reads must keep serving
+// the last published state throughout.
+func TestFailedCommitsDoNotGrowEpochChain(t *testing.T) {
+	fs := &failingStore{PageStore: store.NewMem()}
+	tr := mustOpen(t, Options{MasterKey: bytes.Repeat([]byte{0xC4}, 32), Order: 8, Store: fs})
+	defer tr.Close()
+	for i := 0; i < 200; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("v1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := epochChainLen(tr)
+
+	fs.armed.Store(true)
+	for i := 0; i < 50; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("v2")); !errors.Is(err, errCommitRefused) {
+			t.Fatalf("put against failing store = %v, want injected error", err)
+		}
+		if v, ok, err := tr.Get([]byte(fmt.Sprintf("k%04d", i))); err != nil || !ok || string(v) != "v1" {
+			t.Fatalf("Get during failed retries = (%q, %v, %v), want v1", v, ok, err)
+		}
+	}
+	if got := epochChainLen(tr); got > base+2 {
+		t.Fatalf("50 failed commits grew the epoch chain from %d to %d", base, got)
+	}
+
+	fs.armed.Store(false)
+	if err := tr.Put([]byte("k0000"), []byte("v3")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := tr.Get([]byte("k0000")); err != nil || !ok || string(v) != "v3" {
+		t.Fatalf("Get after recovery = (%q, %v, %v)", v, ok, err)
+	}
+	count := 0
+	if err := tr.Scan(func(_, _ []byte) bool { count++; return true }); err != nil || count != 200 {
+		t.Fatalf("scan after recovery visited %d (%v)", count, err)
+	}
+}
+
+// TestCursorSnapshotAcrossCommit pins snapshot isolation deterministically: a
+// cursor opened before a batch commit sees none of it, even when it starts
+// iterating only after the commit landed; a cursor opened after sees all of
+// it. The cursor can never observe a half-applied batch.
+func TestCursorSnapshotAcrossCommit(t *testing.T) {
+	tr := mustOpen(t, Options{MasterKey: bytes.Repeat([]byte{0xC2}, 32), Order: 8})
+	defer tr.Close()
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("v1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := tr.Cursor()
+	defer before.Close()
+
+	b := tr.NewBatch()
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			if err := b.Delete([]byte(fmt.Sprintf("k%04d", i))); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := b.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("v2")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	count := 0
+	for ok := before.First(); ok; ok = before.Next() {
+		if string(before.Value()) != "v1" {
+			t.Fatalf("pre-commit cursor observed %q", before.Value())
+		}
+		count++
+	}
+	if err := before.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("pre-commit cursor visited %d entries, want %d", count, n)
+	}
+
+	after := tr.Cursor()
+	defer after.Close()
+	count = 0
+	for ok := after.First(); ok; ok = after.Next() {
+		if string(after.Value()) != "v2" {
+			t.Fatalf("post-commit cursor observed %q", after.Value())
+		}
+		count++
+	}
+	if err := after.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if want := n - (n+2)/3; count != want {
+		t.Fatalf("post-commit cursor visited %d entries, want %d", count, want)
+	}
+}
+
+// TestStatsCountersConcurrentReaders exercises the Hits/Misses/Evictions/
+// Pages counters while readers, writers, and Stats callers run concurrently:
+// samples must be monotonic (hits/misses/evictions never go backwards),
+// Pages must respect the configured capacity, and traffic must actually be
+// counted. Runs under -race in CI.
+func TestStatsCountersConcurrentReaders(t *testing.T) {
+	const cachePages = 8
+	tr := mustOpen(t, Options{MasterKey: bytes.Repeat([]byte{0xC3}, 32), Order: 8, CachePages: cachePages})
+	defer tr.Close()
+	const n = 1500
+	for i := 0; i < n; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%05d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 800; i++ {
+				k := []byte(fmt.Sprintf("k%05d", rng.Intn(n)))
+				if _, ok, err := tr.Get(k); err != nil || !ok {
+					t.Errorf("Get = (%v, %v)", ok, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() { // a writer, so eviction and promotion churn under the samplers
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := tr.Put([]byte(fmt.Sprintf("w%05d", i%200)), []byte(fmt.Sprintf("x%d", i))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	var last CacheStats
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s, err := tr.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := s.Cache
+		if c.Hits < last.Hits || c.Misses < last.Misses || c.Evictions < last.Evictions {
+			t.Fatalf("counters went backwards: %+v after %+v", c, last)
+		}
+		if c.Pages > cachePages {
+			t.Fatalf("Pages = %d exceeds capacity %d", c.Pages, cachePages)
+		}
+		last = c
+		if c.Hits > 0 && c.Misses > 0 && c.Evictions > 0 && time.Now().Add(4500*time.Millisecond).After(deadline) {
+			break // sampled enough churn; let the readers finish
+		}
+	}
+	close(stop)
+	wg.Wait()
+	s, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cache.Hits == 0 || s.Cache.Misses == 0 || s.Cache.Evictions == 0 {
+		t.Fatalf("no traffic recorded under concurrency: %+v", s.Cache)
+	}
+}

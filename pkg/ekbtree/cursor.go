@@ -7,25 +7,27 @@ import (
 	"github.com/paper-repro/ekbtree/internal/keysub"
 )
 
-// cursorBatch is the number of entries a cursor snapshots per lock
-// acquisition. Larger batches amortize tree descent and locking; smaller
-// batches bound memory and shorten reader-held lock windows.
-const cursorBatch = 256
-
-// Cursor iterates a tree's entries in ascending substituted-key order.
+// Cursor iterates a point-in-time snapshot of the tree in ascending
+// substituted-key order.
 //
-// A cursor pulls entries in batches: it takes the tree's read lock, collects
-// and decrypts up to cursorBatch entries of the relevant leaf range into a
-// private snapshot, and releases the lock before returning control. Caller
-// code therefore never runs while the tree lock is held — a cursor loop may
-// freely call back into the same Tree (Get, Put, even another Cursor).
+// A cursor pins the tree's current epoch when it is created and reads that
+// version, lock-free, for its whole life: concurrent Puts, Deletes, and batch
+// commits neither block the cursor nor become visible to it, and the cursor
+// never observes a partially-applied batch. Internally it keeps the
+// root-to-leaf path to its position, so advancing is O(1) amortized — no
+// re-descent, no per-batch snapshot copying.
 //
-// Because the snapshot is per batch, iteration is not a point-in-time view of
-// the whole tree: entries mutated behind the cursor's position are not
-// revisited, and entries inserted ahead of it may or may not be observed.
-// Each individual batch is internally consistent.
+// Close releases the pin. An open cursor holds its snapshot's superseded
+// pages in memory, so long-lived cursors over a write-heavy tree cost memory
+// proportional to the writes since the cursor was opened — close cursors
+// promptly.
 //
-// A Cursor is not safe for concurrent use by multiple goroutines.
+// Key and Value return zero-copy READ-ONLY views into the snapshot's nodes:
+// they remain valid until Close but must never be mutated (the bytes are
+// shared with the live tree); copy them to retain them past Close.
+//
+// A Cursor is not safe for concurrent use by multiple goroutines, but any
+// number of cursors may run concurrently with each other and with writers.
 //
 // The typical loop:
 //
@@ -39,30 +41,44 @@ type Cursor struct {
 	t      *Tree
 	lo, hi []byte // substituted bounds: lo inclusive, hi exclusive; nil = unbounded
 
-	buf    []btree.Entry
-	i      int
-	more   bool // entries may remain beyond buf
-	valid  bool // positioned on an entry
+	e      *epoch // pinned snapshot; nil if the tree was closed at creation
+	it     *btree.Iter
+	k, v   []byte
+	valid  bool
 	err    error
 	closed bool
 }
 
-// Cursor returns a cursor over the whole tree. Position it with First or
-// Seek before reading; Close it when done.
+// Cursor returns a cursor over a snapshot of the whole tree, taken at this
+// call. Position it with First or Seek before reading; Close it when done to
+// release the snapshot.
 func (t *Tree) Cursor() *Cursor {
-	return &Cursor{t: t}
+	return t.newCursor(nil, nil)
 }
 
 // CursorRange returns a cursor over the substituted range covering the
-// plaintext bounds [fromKey, toKey). Bounds are mapped exactly as in
-// ScanRange: with a range-capable substituter (e.g. the bucketed one) they
-// expand to whole boundary buckets, so the cursor visits a superset of the
-// plaintext range; with a pure-PRF substituter they are substituted pointwise
-// and the range bears no relation to plaintext order. A nil bound is
-// unbounded on that side.
+// plaintext bounds [fromKey, toKey), snapshotted at this call. Bounds are
+// mapped exactly as in ScanRange: with a range-capable substituter (e.g. the
+// bucketed one) they expand to whole boundary buckets, so the cursor visits a
+// superset of the plaintext range; with a pure-PRF substituter they are
+// substituted pointwise and the range bears no relation to plaintext order.
+// A nil bound is unbounded on that side.
 func (t *Tree) CursorRange(fromKey, toKey []byte) *Cursor {
 	lo, hi := t.substituteBounds(fromKey, toKey)
-	return &Cursor{t: t, lo: lo, hi: hi}
+	return t.newCursor(lo, hi)
+}
+
+func (t *Tree) newCursor(lo, hi []byte) *Cursor {
+	c := &Cursor{t: t, lo: lo, hi: hi}
+	e, err := t.es.pin()
+	if err != nil {
+		// Tree already closed: the cursor exists but every positioning call
+		// will report ErrClosed.
+		return c
+	}
+	c.e = e
+	c.it = btree.NewIter(epochReader{io: t.io, e: e}, e.root, hi)
+	return c
 }
 
 // substituteBounds maps plaintext range bounds to substituted bounds,
@@ -81,9 +97,10 @@ func (t *Tree) substituteBounds(fromKey, toKey []byte) (lo, hi []byte) {
 }
 
 // First positions the cursor on the first entry of its range, reporting
-// whether one exists. It may be called again at any time to restart.
+// whether one exists. It may be called again at any time to restart over the
+// same snapshot.
 func (c *Cursor) First() bool {
-	return c.fill(c.lo, false)
+	return c.seek(c.lo)
 }
 
 // Seek positions the cursor on the first entry at or after the substituted
@@ -93,13 +110,24 @@ func (c *Cursor) First() bool {
 // earlier entries sharing key's bucket (the same superset contract as
 // CursorRange). With a pure-PRF substituter the bound is key's pointwise
 // substitution and the position is meaningless in plaintext order. Seeking
-// below the cursor's lower bound clamps to it.
+// below the cursor's lower bound clamps to it. Seek repositions within the
+// cursor's pinned snapshot.
 func (c *Cursor) Seek(key []byte) bool {
 	from, _ := c.t.substituteBounds(key, nil)
 	if c.lo != nil && (from == nil || bytes.Compare(from, c.lo) < 0) {
 		from = c.lo
 	}
-	return c.fill(from, false)
+	return c.seek(from)
+}
+
+// seek repositions the iterator at from and advances to the first entry.
+func (c *Cursor) seek(from []byte) bool {
+	c.valid, c.k, c.v = false, nil, nil
+	if !c.usable() {
+		return false
+	}
+	c.it.Seek(from)
+	return c.advance()
 }
 
 // Next advances to the following entry, reporting whether one exists.
@@ -107,56 +135,48 @@ func (c *Cursor) Next() bool {
 	if !c.valid {
 		return false
 	}
-	if c.i+1 < len(c.buf) {
-		c.i++
-		return true
-	}
-	if !c.more {
-		c.valid = false
+	c.valid, c.k, c.v = false, nil, nil
+	if !c.usable() {
 		return false
 	}
-	return c.fill(c.buf[len(c.buf)-1].Key, true)
+	return c.advance()
 }
 
-// fill snapshots the next batch of entries starting at from (exclusive when
-// afterFrom) and positions the cursor on its first entry.
-func (c *Cursor) fill(from []byte, afterFrom bool) bool {
-	c.buf, c.i, c.valid = nil, 0, false
-	if c.closed {
+// usable checks the closed states, recording ErrClosed as appropriate.
+func (c *Cursor) usable() bool {
+	if c.closed || c.e == nil || c.t.es.isClosed() {
 		c.err = ErrClosed
 		return false
 	}
-	c.t.mu.RLock()
-	if c.t.closed {
-		c.t.mu.RUnlock()
-		c.err = ErrClosed
-		return false
-	}
-	ents, more, err := c.t.bt.CollectRange(from, c.hi, afterFrom, cursorBatch)
-	c.t.mu.RUnlock()
-	if err != nil {
-		c.err = mapErr(err)
+	return true
+}
+
+// advance pulls the next entry from the iterator into the cursor position.
+func (c *Cursor) advance() bool {
+	k, v, ok := c.it.Next()
+	if !ok {
+		if err := c.it.Err(); err != nil {
+			c.err = mapErr(err)
+		} else {
+			c.err = nil
+		}
 		return false
 	}
 	c.err = nil
-	c.buf = ents
-	// CollectRange peeks one entry past the batch, so more is exact: a range
-	// that ends precisely on a batch boundary never costs an extra descent
-	// that would come back empty.
-	c.more = more
-	c.valid = len(ents) > 0
-	return c.valid
+	c.k, c.v, c.valid = k, v, true
+	return true
 }
 
 // Key returns the current entry's substituted key (the plaintext key is not
-// recoverable from the tree). The slice is a fresh copy owned by the caller
-// and remains valid after the cursor advances or closes. Key returns nil when
-// the cursor is not positioned on an entry.
+// recoverable from the tree). The slice is a zero-copy read-only view into
+// the cursor's snapshot: valid until Close, never to be mutated, copied if
+// retained longer. Key returns nil when the cursor is not positioned on an
+// entry.
 func (c *Cursor) Key() []byte {
 	if !c.valid {
 		return nil
 	}
-	return c.buf[c.i].Key
+	return c.k
 }
 
 // Value returns the current entry's value, with the same ownership contract
@@ -165,7 +185,7 @@ func (c *Cursor) Value() []byte {
 	if !c.valid {
 		return nil
 	}
-	return c.buf[c.i].Value
+	return c.v
 }
 
 // Err returns the first error the cursor encountered, or nil. Exhausting the
@@ -174,11 +194,19 @@ func (c *Cursor) Err() error {
 	return c.err
 }
 
-// Close releases the cursor. Subsequent positioning calls fail with
-// ErrClosed. Close is idempotent and never fails; it returns an error only
-// to satisfy the common io.Closer-style calling pattern.
+// Close releases the cursor's snapshot pin, allowing the engine to reclaim
+// superseded pages. Subsequent positioning calls fail with ErrClosed. Close
+// is idempotent and never fails; it returns an error only to satisfy the
+// common io.Closer-style calling pattern.
 func (c *Cursor) Close() error {
+	if c.closed {
+		return nil
+	}
 	c.closed = true
-	c.buf, c.valid = nil, false
+	if c.e != nil {
+		c.t.es.release(c.e)
+		c.e = nil
+	}
+	c.it, c.k, c.v, c.valid = nil, nil, nil, false
 	return nil
 }

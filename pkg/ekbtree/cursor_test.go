@@ -19,14 +19,14 @@ func mustOpen(t *testing.T, opts Options) *Tree {
 	return tr
 }
 
-// TestCursorFullIteration inserts enough random keys to force several refill
-// batches and checks the cursor visits every entry exactly once, in ascending
+// TestCursorFullIteration inserts enough random keys to span many leaves and
+// checks the cursor visits every entry exactly once, in ascending
 // substituted-key order, agreeing with Scan.
 func TestCursorFullIteration(t *testing.T) {
 	tr := mustOpen(t, Options{MasterKey: bytes.Repeat([]byte{0xA1}, 32), Order: 8})
 	defer tr.Close()
 
-	const n = 3 * cursorBatch // force at least three fills
+	const n = 768 // several levels' worth of leaves at order 8
 	for i := 0; i < n; i++ {
 		k := make([]byte, 16)
 		if _, err := rand.Read(k); err != nil {
@@ -200,8 +200,10 @@ func TestCursorRangeClampsSeek(t *testing.T) {
 }
 
 // TestScanReentrancy is the acceptance check that caller code never runs
-// under the tree lock: the Scan callback re-enters the tree with Get, Put,
-// and a nested cursor, and verifies via TryLock that no lock is held.
+// under the tree's writer lock: the Scan callback re-enters the tree with
+// Get, Put, and a nested cursor, and verifies via TryLock that no lock is
+// held. With snapshot cursors the Put inside the callback is invisible to
+// the ongoing scan but fully visible afterwards.
 func TestScanReentrancy(t *testing.T) {
 	tr := mustOpen(t, Options{MasterKey: bytes.Repeat([]byte{0xA5}, 32), Order: 8})
 	defer tr.Close()
@@ -216,10 +218,10 @@ func TestScanReentrancy(t *testing.T) {
 		if calls > 1 {
 			return true // re-enter only on the first callback; keep the test fast
 		}
-		if !tr.mu.TryLock() {
-			t.Fatal("tree lock held during Scan callback")
+		if !tr.wmu.TryLock() {
+			t.Fatal("tree writer lock held during Scan callback")
 		}
-		tr.mu.Unlock()
+		tr.wmu.Unlock()
 		if _, _, err := tr.Get([]byte("k005")); err != nil {
 			t.Fatalf("Get inside Scan callback: %v", err)
 		}

@@ -28,6 +28,8 @@ func TestDurabilityOptionsValidation(t *testing.T) {
 		{"window with full", Options{MasterKey: master, Path: path, GroupWindow: time.Millisecond}},
 		{"negative window", Options{MasterKey: master, Path: path, Durability: DurabilityGrouped, GroupWindow: -time.Millisecond}},
 		{"unknown mode", Options{MasterKey: master, Path: path, Durability: Durability(99)}},
+		{"max unflushed without path", Options{MasterKey: master, MaxUnflushed: 1 << 20}},
+		{"negative max unflushed", Options{MasterKey: master, Path: path, Durability: DurabilityAsync, MaxUnflushed: -1}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -100,6 +102,41 @@ func TestDurabilityModesEndToEnd(t *testing.T) {
 				t.Fatalf("reopened %s-mode tree has %d entries, want %d", tc.name, len(got), len(want))
 			}
 		})
+	}
+}
+
+// TestMaxUnflushedEndToEnd drives an Async tree with a tiny MaxUnflushed
+// bound through enough writes to cross it many times: backpressure must
+// throttle, never deadlock or drop, and a close/reopen cycle preserves
+// everything.
+func TestMaxUnflushedEndToEnd(t *testing.T) {
+	master := bytes.Repeat([]byte{0xDA}, 32)
+	path := filepath.Join(t.TempDir(), "maxunflushed.ekb")
+	tr := mustOpen(t, Options{
+		MasterKey:    master,
+		Path:         path,
+		Durability:   DurabilityAsync,
+		MaxUnflushed: 4 << 10,
+	})
+	const n = 400
+	val := bytes.Repeat([]byte{0x5C}, 256) // ~100KB total: dozens of bound crossings
+	for i := 0; i < n; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("bp%04d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := mustOpen(t, Options{MasterKey: master, Path: path, Durability: DurabilityAsync, MaxUnflushed: 4 << 10})
+	defer re.Close()
+	for i := 0; i < n; i++ {
+		if v, ok, err := re.Get([]byte(fmt.Sprintf("bp%04d", i))); err != nil || !ok || !bytes.Equal(v, val) {
+			t.Fatalf("reopened Get(bp%04d) = (%d bytes, %v, %v)", i, len(v), ok, err)
+		}
 	}
 }
 

@@ -7,7 +7,7 @@
 //
 //	caller ── plaintext key, value
 //	   │
-//	pkg/ekbtree        façade: substitute key, serialize access, cache nodes
+//	pkg/ekbtree        façade: substitute keys, epoch snapshots, cache nodes
 //	   │
 //	internal/keysub    key substitution (HMAC PRF / bucketed order-preserving)
 //	   │
@@ -24,9 +24,12 @@
 // Every []byte argument to a façade method (keys, values, bounds) is treated
 // as read-only for the duration of the call and is copied before anything the
 // engine retains; callers keep ownership and may reuse or mutate their
-// buffers as soon as the call returns. Every []byte the façade returns (Get
-// values, Cursor keys and values, Scan callback arguments) is a fresh copy
-// owned by the receiver; retaining or mutating it never affects the tree.
+// buffers as soon as the call returns. Get returns a fresh copy the caller
+// owns outright. Cursor.Key, Cursor.Value, and the slices passed to Scan
+// callbacks are zero-copy READ-ONLY views into the cursor's pinned snapshot:
+// they stay valid until the cursor is closed (for callbacks, for the duration
+// of the call), must never be mutated, and should be copied if retained
+// longer — see the Cursor type for the full contract.
 //
 // # Errors
 //
@@ -115,6 +118,15 @@ type Options struct {
 	// unflushed; zero means the store default (2ms). Setting it with any
 	// other durability mode, or without Path, is invalid.
 	GroupWindow time.Duration
+	// MaxUnflushed bounds the bytes of acknowledged-but-unflushed commit
+	// payload a Path store may accumulate per commit group. At the bound,
+	// new commits BLOCK until the pending group flushes (Grouped mode waits
+	// for its window; Async starts a background flush) instead of growing
+	// the overlay or forcing an early mid-window flush. Because one full
+	// group can be mid-flush while the next fills, total unflushed memory
+	// can reach roughly twice this bound. Zero means the store default
+	// (4MB); negative, or setting it without Path, is invalid.
+	MaxUnflushed int
 	// CachePages caps the decoded-node cache that serves repeated reads and
 	// batch staging. Zero means DefaultCachePages; negative disables the
 	// cache entirely (every access re-reads, deciphers, and decodes).
@@ -153,8 +165,8 @@ func (o Options) validate() (order int, sub keysub.Substituter, nc cipher.NodeCi
 	default:
 		return 0, nil, nil, nil, 0, fmt.Errorf("%w: unknown durability mode %d", ErrInvalidOptions, int(o.Durability))
 	}
-	if o.Path == "" && (o.Durability != DurabilityFull || o.GroupWindow != 0) {
-		return 0, nil, nil, nil, 0, fmt.Errorf("%w: Durability and GroupWindow apply only to Path stores", ErrInvalidOptions)
+	if o.Path == "" && (o.Durability != DurabilityFull || o.GroupWindow != 0 || o.MaxUnflushed != 0) {
+		return 0, nil, nil, nil, 0, fmt.Errorf("%w: Durability, GroupWindow, and MaxUnflushed apply only to Path stores", ErrInvalidOptions)
 	}
 	if o.GroupWindow < 0 {
 		return 0, nil, nil, nil, 0, fmt.Errorf("%w: negative GroupWindow", ErrInvalidOptions)
@@ -162,12 +174,15 @@ func (o Options) validate() (order int, sub keysub.Substituter, nc cipher.NodeCi
 	if o.GroupWindow != 0 && o.Durability != DurabilityGrouped {
 		return 0, nil, nil, nil, 0, fmt.Errorf("%w: GroupWindow applies only to DurabilityGrouped", ErrInvalidOptions)
 	}
+	if o.MaxUnflushed < 0 {
+		return 0, nil, nil, nil, 0, fmt.Errorf("%w: negative MaxUnflushed", ErrInvalidOptions)
+	}
 	st = o.Store
 	switch {
 	case st != nil && o.Path != "":
 		return 0, nil, nil, nil, 0, fmt.Errorf("%w: Store and Path are mutually exclusive", ErrInvalidOptions)
 	case st == nil && o.Path != "":
-		cfg := file.Config{Durability: o.Durability, GroupWindow: o.GroupWindow}
+		cfg := file.Config{Durability: o.Durability, GroupWindow: o.GroupWindow, MaxUnflushed: o.MaxUnflushed}
 		if st, err = file.OpenConfig(o.Path, cfg); err != nil {
 			return 0, nil, nil, nil, 0, err
 		}
@@ -195,13 +210,34 @@ func deriveKey(master []byte, label string) []byte {
 }
 
 // Tree is an enciphered B-tree. All methods are safe for concurrent use.
+//
+// # Concurrency model
+//
+// Readers never block behind writers. Every mutation (Put, Delete,
+// Batch.Commit) builds its new pages as private copies, commits them to the
+// store, and atomically publishes a new EPOCH — a root pointer plus the
+// pre-images of every page the commit superseded. Get, Stats, and Cursor pin
+// the current epoch (an O(1) reference count), read lock-free against that
+// epoch's immutable node set, and release the pin when done; a Get issued
+// while a batch commit is flushing completes from the previous epoch without
+// waiting for the flush. Superseded pages and their cache entries are
+// reclaimed only once the last reader pinning an older epoch releases it.
+// Writers serialize among themselves on a single writer mutex.
 type Tree struct {
-	mu     sync.RWMutex
-	sub    keysub.Substituter
-	bt     *btree.Tree
-	st     store.PageStore
-	io     *nodeIO
-	closed bool
+	wmu sync.Mutex // serializes writers (Put, Delete, Batch.Commit) and Close
+	sub keysub.Substituter
+	bt  *btree.Tree
+	st  store.PageStore
+	io  *nodeIO
+	es  *epochs
+	// commitFailed records that a CommitPages attempt has failed since the
+	// last successful commit. The FIRST failure's provisional epoch is kept
+	// (a durable store may have applied the commit before fail-stopping, so
+	// its undo overlay can be load-bearing); any store honoring the
+	// all-or-nothing CommitPages contract applies nothing on the failures
+	// after that, so their epochs are unlinked to keep the chain bounded
+	// under retry loops. Guarded by wmu.
+	commitFailed bool
 }
 
 // Open builds a tree from opts. Reopening an existing store requires the same
@@ -232,7 +268,14 @@ func Open(opts Options) (*Tree, error) {
 		}
 		return nil, err
 	}
-	return &Tree{sub: sub, bt: bt, st: st, io: io}, nil
+	root, err := st.Root()
+	if err != nil {
+		if ownStore {
+			st.Close()
+		}
+		return nil, mapErr(err)
+	}
+	return &Tree{sub: sub, bt: bt, st: st, io: io, es: newEpochs(root)}, nil
 }
 
 // metaPageID is the pseudo page ID binding the sealed header; real page IDs
@@ -286,8 +329,70 @@ func checkValueSize(value []byte) error {
 	return nil
 }
 
+// applyCommit runs one mutation (a single op or a whole batch) through the
+// staged-commit pipeline and publishes it as a new epoch:
+//
+//  1. under the writer lock, apply stages every touched page as a private
+//     decoded clone (the shared cache and all pinned epochs stay untouched);
+//  2. sealBatch seals each dirty page once and harvests the write-set, the
+//     frees, the new root, and the pre-images of every superseded page;
+//  3. the pre-images are linked into the epoch chain as a provisional epoch
+//     BEFORE the store sees the commit, so readers pinned to older epochs
+//     keep resolving superseded pages from memory throughout;
+//  4. the store applies the whole set atomically (CommitPages) — no façade
+//     lock is held across this I/O, so concurrent Gets and cursors proceed;
+//  5. the staged clones are promoted into the shared cache, and only then is
+//     the epoch published for new readers to pin.
+//
+// On failure nothing is published: the clones are dropped, the cache still
+// holds the pre-commit versions, and the provisional epoch stays linked but
+// unpinnable (its pre-images remain load-bearing if a durable store applied
+// the commit before fail-stopping).
+func (t *Tree) applyCommit(apply func() error) error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	if t.es.isClosed() {
+		return ErrClosed
+	}
+	t.io.beginBatch()
+	if err := apply(); err != nil {
+		t.io.abortBatch()
+		return mapErr(err)
+	}
+	cs, err := t.io.sealBatch()
+	if err != nil {
+		return mapErr(err)
+	}
+	if cs == nil {
+		// Nothing changed; skip the store round trip (and its fsyncs), but
+		// keep the pages the mutation read warm in the cache.
+		t.io.promoteBatch(nil)
+		return nil
+	}
+	e := t.es.prepare(cs.root, cs.undo)
+	if err := t.io.st.CommitPages(cs.writes, cs.root, cs.frees); err != nil {
+		t.io.abortBatch()
+		if t.commitFailed {
+			// Not the first failure since the last success: the store is
+			// fail-stopped (or rejected atomically), so nothing of this
+			// attempt was applied and the provisional epoch is unlinked —
+			// retry loops must not grow the chain unboundedly.
+			t.es.unlinkTail(e)
+		}
+		t.commitFailed = true
+		return mapErr(err)
+	}
+	t.io.promoteBatch(cs)
+	t.es.publish(e)
+	t.commitFailed = false
+	return nil
+}
+
 // Put stores value under key, replacing any existing value. Both slices are
-// copied; the caller keeps ownership.
+// copied; the caller keeps ownership. Every page the operation touches is
+// staged decoded, then the whole set is handed to the store's atomic
+// CommitPages and published as one epoch, so even a multi-page split is
+// all-or-nothing for readers and durable backends alike.
 func (t *Tree) Put(key, value []byte) error {
 	sk, err := t.substituteKey(key)
 	if err != nil {
@@ -297,33 +402,20 @@ func (t *Tree) Put(key, value []byte) error {
 		return err
 	}
 	v := append([]byte(nil), value...)
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
-		return ErrClosed
-	}
-	// Single mutations ride the same staged-commit path as Batch: every page
-	// the operation touches is staged decoded, then the whole set is handed
-	// to the store's atomic CommitPages, so even a multi-page split is
-	// all-or-nothing on a durable backend.
-	t.io.beginBatch()
-	if err := t.bt.Put(sk, v); err != nil {
-		t.io.abortBatch()
-		return mapErr(err)
-	}
-	return mapErr(t.io.commitBatch())
+	return t.applyCommit(func() error { return t.bt.Put(sk, v) })
 }
 
 // Get returns the value stored under key. The returned slice is a fresh copy
-// owned by the caller.
+// owned by the caller. Get pins the current epoch and reads lock-free: it
+// never waits for writers, including an in-flight batch commit.
 func (t *Tree) Get(key []byte) ([]byte, bool, error) {
 	sk := t.sub.Substitute(key)
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if t.closed {
-		return nil, false, ErrClosed
+	e, err := t.es.pin()
+	if err != nil {
+		return nil, false, err
 	}
-	v, ok, err := t.bt.Get(sk)
+	defer t.es.release(e)
+	v, ok, err := btree.Lookup(epochReader{io: t.io, e: e}, e.root, sk)
 	if err != nil {
 		return nil, false, mapErr(err)
 	}
@@ -333,29 +425,24 @@ func (t *Tree) Get(key []byte) ([]byte, bool, error) {
 	return append([]byte(nil), v...), true, nil
 }
 
-// Delete removes key, reporting whether it was present.
+// Delete removes key, reporting whether it was present. Like Put, it commits
+// through the staged pipeline: merges and root collapses publish atomically
+// or not at all.
 func (t *Tree) Delete(key []byte) (bool, error) {
 	sk, err := t.substituteKey(key)
 	if err != nil {
 		return false, err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
-		return false, ErrClosed
-	}
-	// Same staged-commit path as Put: merges and root collapses publish
-	// atomically or not at all.
-	t.io.beginBatch()
-	ok, err := t.bt.Delete(sk)
+	var deleted bool
+	err = t.applyCommit(func() error {
+		var err error
+		deleted, err = t.bt.Delete(sk)
+		return err
+	})
 	if err != nil {
-		t.io.abortBatch()
-		return false, mapErr(err)
+		return false, err
 	}
-	if err := t.io.commitBatch(); err != nil {
-		return false, mapErr(err)
-	}
-	return ok, nil
+	return deleted, nil
 }
 
 // Scan visits every entry in ascending substituted-key order, stopping early
@@ -364,11 +451,12 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 // plaintext order at bucket granularity. The subKey passed to fn is the
 // substituted key — the plaintext key is not recoverable from the tree.
 //
-// Scan is a thin wrapper over Cursor: fn runs without the tree's lock held
-// and may call any method of this Tree, including mutations. Iteration is
-// therefore not a point-in-time snapshot; see Cursor for the exact
-// consistency contract. The slices passed to fn are fresh copies owned by
-// the callback.
+// Scan is a thin wrapper over Cursor, so it observes one point-in-time
+// snapshot of the tree: the epoch current when Scan begins. fn runs with no
+// tree lock held and may call any method of this Tree, including mutations —
+// but mutations made during the scan are not visible to it. The slices
+// passed to fn are read-only views into the snapshot, valid only for the
+// duration of the callback; fn copies what it retains.
 func (t *Tree) Scan(fn func(subKey, value []byte) bool) error {
 	return t.cursorScan(t.Cursor(), fn)
 }
@@ -382,7 +470,8 @@ func (t *Tree) Scan(fn func(subKey, value []byte) bool) error {
 // substituted pointwise and the scanned interval bears no relation to
 // plaintext order. A nil bound is unbounded on that side.
 //
-// Like Scan, fn runs without the tree's lock held and may re-enter the Tree.
+// Like Scan, it iterates a point-in-time snapshot, and fn runs without any
+// tree lock held and may re-enter the Tree.
 func (t *Tree) ScanRange(fromKey, toKey []byte, fn func(subKey, value []byte) bool) error {
 	return t.cursorScan(t.CursorRange(fromKey, toKey), fn)
 }
@@ -410,14 +499,16 @@ type Stats struct {
 	Cache CacheStats
 }
 
-// Stats reports tree shape and cache counters. The shape walk is O(nodes).
+// Stats reports tree shape and cache counters. The shape walk is O(nodes)
+// and runs against a pinned epoch, so it observes one consistent version and
+// never blocks (or is blocked by) writers.
 func (t *Tree) Stats() (Stats, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if t.closed {
-		return Stats{}, ErrClosed
+	e, err := t.es.pin()
+	if err != nil {
+		return Stats{}, err
 	}
-	s, err := t.bt.Stats()
+	defer t.es.release(e)
+	s, err := btree.StatsIn(epochReader{io: t.io, e: e}, e.root)
 	if err != nil {
 		return Stats{}, mapErr(err)
 	}
@@ -428,11 +519,9 @@ func (t *Tree) Stats() (Stats, error) {
 // the backing store. It is the durability barrier for DurabilityAsync (and
 // an early flush for DurabilityGrouped); for DurabilityFull, the in-memory
 // backend, or an idle store it returns immediately. Sync may run
-// concurrently with readers.
+// concurrently with both readers and writers.
 func (t *Tree) Sync() error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if t.closed {
+	if t.es.isClosed() {
 		return ErrClosed
 	}
 	return mapErr(t.st.Sync())
@@ -440,14 +529,15 @@ func (t *Tree) Sync() error {
 
 // Close releases the underlying store. After Close every method of the tree
 // (and any open Cursor on it) returns ErrClosed; closing twice returns
-// ErrClosed as well.
+// ErrClosed as well. Close does not wait for in-flight readers: a Get or
+// cursor step racing Close either completes normally or fails with
+// ErrClosed.
 func (t *Tree) Close() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	if !t.es.close() {
 		return ErrClosed
 	}
-	t.closed = true
 	t.io.invalidate()
 	return mapErr(t.st.Close())
 }

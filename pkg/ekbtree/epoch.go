@@ -1,0 +1,205 @@
+package ekbtree
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/paper-repro/ekbtree/internal/node"
+)
+
+// epoch is one published version of the tree. Readers pin an epoch and then
+// resolve every page they touch as of that version, without any tree-level
+// lock: the epoch carries the root page ID of its version, and each LATER
+// epoch carries the decoded pre-images (undo) of every page the commit that
+// created it rewrote or freed. A reader at epoch E resolving page id walks
+// the chain E.next, E.next.next, ...: the FIRST epoch whose undo holds id
+// recorded id's content as it stood at E (it was the first commit after E to
+// touch the page); if no epoch after E touched id, the page's current content
+// (cache or store) is still E's content.
+//
+// Epochs form a singly-linked chain, oldest to newest, published via atomic
+// next pointers so readers walk it without locks. An epoch's seq, root, and
+// undo map are immutable from the moment it is linked; refs is guarded by the
+// owning epochs mutex.
+type epoch struct {
+	seq  uint64
+	root uint64
+	// undo holds the pre-images of the pages that the commit CREATING this
+	// epoch rewrote or freed — i.e. those pages' content in every epoch older
+	// than this one. It is reclaimed (nilled) only after no reader pinned to
+	// an older epoch can remain (see epochs.reclaimLocked), so readers never
+	// observe the write.
+	undo map[uint64]*node.Node
+	next atomic.Pointer[epoch]
+	refs int // pinning readers; guarded by epochs.mu
+}
+
+// lookupUndo resolves page id as of this epoch against the undo overlays of
+// every later epoch, returning nil if no later commit touched the page (so
+// the current cache/store content is already this epoch's content). Safe to
+// call without locks: the chain is published through atomic next pointers and
+// undo maps are immutable while reachable from a pinned epoch.
+func (e *epoch) lookupUndo(id uint64) *node.Node {
+	for f := e.next.Load(); f != nil; f = f.next.Load() {
+		if n, ok := f.undo[id]; ok {
+			return n
+		}
+	}
+	return nil
+}
+
+// epochs manages the epoch chain for one Tree: pinning, publication, and
+// reclamation. The mutex guards only the chain bookkeeping (refs, head,
+// current, tail); it is never held across I/O, so pinning and releasing are
+// O(1) pauses even while a commit is flushing.
+type epochs struct {
+	mu      sync.Mutex
+	current *epoch // newest PUBLISHED epoch; what new readers pin
+	tail    *epoch // newest linked epoch (== current unless a commit is in flight or failed)
+	head    *epoch // oldest epoch that may still have pinned readers
+	closed  atomic.Bool
+}
+
+// newEpochs seeds the chain with the store's current root as epoch 0.
+func newEpochs(root uint64) *epochs {
+	e := &epoch{seq: 0, root: root}
+	return &epochs{current: e, tail: e, head: e}
+}
+
+// pin takes a reference on the current epoch and returns it. Every pin must
+// be paired with exactly one release; until then the epoch's version stays
+// fully readable and its superseded pre-images stay in memory.
+func (es *epochs) pin() (*epoch, error) {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	if es.closed.Load() {
+		return nil, ErrClosed
+	}
+	e := es.current
+	e.refs++
+	return e, nil
+}
+
+// release drops a pin and reclaims any epochs no reader can need anymore.
+func (es *epochs) release(e *epoch) {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	e.refs--
+	es.reclaimLocked()
+}
+
+// prepare links a provisional epoch for a commit about to reach the store.
+// It MUST be linked before the store observes any of the commit's writes or
+// frees: from that moment, readers pinned to older epochs depend on the undo
+// overlay to keep resolving superseded pages. The epoch becomes visible to
+// overlay walks immediately but is not pinnable until publish. Called with
+// the writer lock held.
+func (es *epochs) prepare(root uint64, undo map[uint64]*node.Node) *epoch {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	e := &epoch{seq: es.tail.seq + 1, root: root, undo: undo}
+	es.tail.next.Store(e)
+	es.tail = e
+	return e
+}
+
+// publish makes a prepared epoch the current one, after the store accepted
+// the commit and the shared cache was promoted to the new versions. If the
+// commit failed instead, publish is simply never called: the provisional
+// epoch stays in the chain (its undo may be load-bearing if the store applied
+// the commit before failing) but no reader ever pins it, and it is reclaimed
+// with its predecessors once unpinned older epochs drain. Called with the
+// writer lock held.
+func (es *epochs) publish(e *epoch) {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	es.current = e
+	es.reclaimLocked()
+}
+
+// unlinkTail removes a provisional epoch whose commit provably never reached
+// the store (the store rejected it outright, applying nothing), so its undo
+// overlay is dead weight. Without this, an application retrying writes
+// against a fail-stopped store would grow the chain — and every reader's
+// overlay walk — by one epoch per attempt. Unlinking is safe for concurrent
+// walkers even mid-walk: a reader still holding e resolves pages through an
+// undo whose pre-images equal the store's (unchanged) content. Called with
+// the writer lock held; only the newest, never-published epoch may be
+// unlinked.
+func (es *epochs) unlinkTail(e *epoch) {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	if es.tail != e || es.current == e {
+		return
+	}
+	pred := es.head
+	for pred != nil && pred.next.Load() != e {
+		pred = pred.next.Load()
+	}
+	if pred == nil {
+		return
+	}
+	pred.next.Store(nil)
+	es.tail = pred
+}
+
+// reclaimLocked advances head past epochs with no pinned readers and drops
+// undo overlays that no remaining reader can reach: an epoch's undo is only
+// ever read by pins STRICTLY OLDER than it, so once head has advanced to an
+// epoch, that epoch's own undo (and everything before it) is garbage. Callers
+// hold es.mu; the happens-before edge through it guarantees no reader is
+// still walking a map this nils.
+func (es *epochs) reclaimLocked() {
+	for es.head != es.current && es.head.refs == 0 {
+		next := es.head.next.Load()
+		es.head.undo = nil
+		es.head = next
+	}
+	es.head.undo = nil
+}
+
+// close marks the chain closed, reporting whether this call was the one that
+// closed it. Pins already held stay valid for chain walks; subsequent pins
+// fail with ErrClosed.
+func (es *epochs) close() bool {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	if es.closed.Load() {
+		return false
+	}
+	es.closed.Store(true)
+	return true
+}
+
+// isClosed reports whether the tree is closed, without blocking behind the
+// chain mutex.
+func (es *epochs) isClosed() bool {
+	return es.closed.Load()
+}
+
+// epochReader resolves pages as of a pinned epoch, implementing btree.Reader.
+// The fetch-then-overlay order is load-bearing: the overlay is consulted
+// FIRST (a hit needs no fetch), but on a miss the shared fetch runs and the
+// overlay is checked AGAIN before the fetched node is trusted. A commit links
+// its undo overlay before it touches the store, so if the fetch observed
+// post-commit state the re-check is guaranteed to see the overlay entry (the
+// store's and cache's internal locks provide the happens-before edge), and
+// the superseded fetch is discarded.
+type epochReader struct {
+	io *nodeIO
+	e  *epoch
+}
+
+func (r epochReader) Read(id uint64) (*node.Node, error) {
+	if n := r.e.lookupUndo(id); n != nil {
+		return n, nil
+	}
+	n, err := r.io.ReadShared(id)
+	if un := r.e.lookupUndo(id); un != nil {
+		// A commit rewrote or freed the page mid-read; the undo overlay holds
+		// this epoch's version (and explains an ErrNotFound fetch: the page
+		// was freed by a newer epoch).
+		return un, nil
+	}
+	return n, err
+}

@@ -1,6 +1,7 @@
 package ekbtree
 
 import (
+	"errors"
 	"sync"
 
 	"github.com/paper-repro/ekbtree/internal/cipher"
@@ -30,21 +31,27 @@ type CacheStats struct {
 // every node write is encoded then sealed, every read is opened then decoded,
 // so the store only ever holds enciphered pages.
 //
-// On top of the plain adaptation it keeps a bounded write-through cache of
-// decoded nodes with clock (second-chance) eviction, so repeated reads of hot
-// pages (root, upper levels) skip the read→open→decode round trip and a
-// full-cache workload evicts cold pages before hot ones. It also supports a
-// batch mode in which writes are staged decoded in memory with a dirty bit
-// per page: at commit each DIRTY page is encoded and sealed exactly once,
-// while pages the batch merely read are promoted back to the clean cache
-// without being re-enciphered or rewritten.
+// On top of the plain adaptation it keeps a bounded cache of decoded nodes
+// with clock (second-chance) eviction, shared by the single writer and every
+// lock-free epoch reader. Under the epoch scheme cached nodes are IMMUTABLE:
+// the batch write path never hands the btree layer a cached node to mutate —
+// Read in batch mode returns a private clone and records the pristine
+// original as the page's pre-image — so readers may share cached nodes
+// without copying or locking beyond the cache's own short mutex sections.
 //
-// Locking: the Tree's RWMutex already serializes writers against readers, but
-// concurrent readers may race on the cache itself, so the cache has its own
-// mutex. Cached *node.Node values are only mutated by the btree layer under
-// the Tree's exclusive lock, and all reads of node contents happen under at
-// least the Tree's read lock, so sharing decoded nodes between the cache and
-// the btree layer is race-free.
+// Batch mode (begin/seal/promote/abort, called under the Tree's writer lock)
+// stages writes as decoded clones with a dirty bit per page: at commit each
+// DIRTY page is encoded and sealed exactly once, while pages the batch merely
+// read are never re-enciphered or rewritten. The sealed write-set, the
+// pre-images of every rewritten or freed page (the new epoch's undo overlay),
+// and the deferred root flip are harvested by sealBatch; the façade links the
+// epoch, hands the write-set to the store, and only then promotes the staged
+// clones into the shared cache.
+//
+// Locking: cache fields (ring, counters, gen) are guarded by mu and touched
+// only in short critical sections — never across store I/O or cipher work.
+// Batch-staging fields (staged, prev, fresh, freed, pendingRoot, batching)
+// are owned by the single writer and need no lock.
 type nodeIO struct {
 	st store.PageStore
 	nc cipher.NodeCipher
@@ -54,21 +61,26 @@ type nodeIO struct {
 	slots    []cacheSlot    // clock ring, grows up to maxCache
 	hand     int
 	maxCache int
+	// gen counts cache install points (batch promotes and invalidations). A
+	// reader that fetched a page outside mu inserts it only if gen is
+	// unchanged, so a slow reader can never clobber a newer version a commit
+	// promoted in the meantime.
+	gen uint64
 
 	hits      uint64
 	misses    uint64
 	evictions uint64
 
-	// Batch mode (begin/commit/abort are called under the Tree's exclusive
-	// lock). staged holds decoded pages the batch has touched; only entries
-	// with dirty set reach the store at commitBatch.
+	// Batch mode (writer-owned; see the type comment).
 	batching    bool
 	staged      map[uint64]*stagedNode
+	prev        map[uint64]*node.Node // pristine pre-images of pages this batch touched
+	fresh       map[uint64]bool       // pages alloc'd by this batch (no pre-image exists)
 	freed       map[uint64]bool
 	pendingRoot *uint64
 }
 
-// cacheSlot is one clock-ring entry: a clean decoded page plus its
+// cacheSlot is one clock-ring entry: an immutable decoded page plus its
 // second-chance reference bit.
 type cacheSlot struct {
 	id  uint64
@@ -76,12 +88,28 @@ type cacheSlot struct {
 	ref bool
 }
 
-// stagedNode is one batch-staged decoded page. dirty records whether the
-// batch wrote it; clean entries exist so in-batch reads are stable and
-// cheap, and are skipped at commit.
+// stagedNode is one batch-staged decoded page — always a private clone, never
+// a cache-shared node. dirty records whether the batch wrote it; clean
+// entries exist so in-batch reads are stable and cheap, and are skipped at
+// commit.
 type stagedNode struct {
 	n     *node.Node
 	dirty bool
+}
+
+// cloneNode returns a private copy of n that the btree layer may mutate
+// freely: the outer key/value/child slices are fresh (with one slot of
+// headroom for the common single insert), while the inner byte slices are
+// shared — the engine never mutates key or value bytes in place, only
+// replaces whole elements.
+func cloneNode(n *node.Node) *node.Node {
+	c := &node.Node{Leaf: n.Leaf}
+	c.Keys = append(make([][]byte, 0, len(n.Keys)+1), n.Keys...)
+	c.Values = append(make([][]byte, 0, len(n.Values)+1), n.Values...)
+	if !n.Leaf {
+		c.Children = append(make([]uint64, 0, len(n.Children)+1), n.Children...)
+	}
+	return c
 }
 
 func newNodeIO(st store.PageStore, nc cipher.NodeCipher, maxCache int) *nodeIO {
@@ -93,27 +121,22 @@ func newNodeIO(st store.PageStore, nc cipher.NodeCipher, maxCache int) *nodeIO {
 	return io
 }
 
-func (io *nodeIO) Read(id uint64) (*node.Node, error) {
+// ReadShared returns the decoded node for id from the cache or the store. It
+// is the shared read path used by lock-free epoch readers (via epochReader)
+// and by the writer as its fetch primitive; the returned node is immutable
+// and may be concurrently shared. The cache mutex is held only around map
+// operations, never across the store read or the decipher.
+func (io *nodeIO) ReadShared(id uint64) (*node.Node, error) {
 	io.mu.Lock()
-	if io.batching {
-		if sn, ok := io.staged[id]; ok {
-			io.hits++
-			io.mu.Unlock()
-			return sn.n, nil
-		}
-	}
 	if n, ok := io.cacheGet(id); ok {
 		io.hits++
-		if io.batching {
-			io.staged[id] = &stagedNode{n: n}
-		}
 		io.mu.Unlock()
 		return n, nil
 	}
 	io.misses++
+	g0 := io.gen
 	io.mu.Unlock()
 
-	// Miss: decode outside io.mu so concurrent readers decipher in parallel.
 	page, err := io.st.ReadPage(id)
 	if err != nil {
 		return nil, err
@@ -127,24 +150,76 @@ func (io *nodeIO) Read(id uint64) (*node.Node, error) {
 		return nil, err
 	}
 	io.mu.Lock()
-	if io.batching {
-		io.staged[id] = &stagedNode{n: n}
+	// Install only if no commit promoted newer versions since the fetch
+	// began; a stale insert would resurrect a superseded page version for
+	// current-epoch readers.
+	if io.gen == g0 {
+		io.cacheInsert(id, n)
 	}
-	io.cacheInsert(id, n)
 	io.mu.Unlock()
 	return n, nil
 }
 
+// Read implements btree.NodeStore for the writer. In batch mode it serves the
+// batch's private staged clone (creating one on first touch and recording the
+// pristine node as the page's pre-image); outside batch mode it is ReadShared.
+func (io *nodeIO) Read(id uint64) (*node.Node, error) {
+	if !io.batching {
+		return io.ReadShared(id)
+	}
+	if sn, ok := io.staged[id]; ok {
+		io.mu.Lock()
+		io.hits++
+		io.mu.Unlock()
+		return sn.n, nil
+	}
+	n, err := io.ReadShared(id)
+	if err != nil {
+		return nil, err
+	}
+	c := cloneNode(n)
+	io.staged[id] = &stagedNode{n: c}
+	if _, ok := io.prev[id]; !ok {
+		io.prev[id] = n
+	}
+	return c, nil
+}
+
+// capturePreImage records the current (pre-batch) content of id as its
+// pre-image before the batch overwrites or frees it, if one can exist: pages
+// the batch alloc'd have none, and a page the store has no record of was
+// never reachable from any epoch. Writer-only.
+func (io *nodeIO) capturePreImage(id uint64) error {
+	if io.fresh[id] {
+		return nil
+	}
+	if _, ok := io.prev[id]; ok {
+		return nil
+	}
+	n, err := io.ReadShared(id)
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			return nil
+		}
+		return err
+	}
+	io.prev[id] = n
+	return nil
+}
+
 func (io *nodeIO) Write(id uint64, n *node.Node) error {
-	io.mu.Lock()
-	defer io.mu.Unlock()
 	if io.batching {
+		// The btree layer always reads a page before writing it, so the
+		// pre-image is normally captured already; the explicit capture guards
+		// direct nodeIO use (tests) and future write paths.
+		if err := io.capturePreImage(id); err != nil {
+			return err
+		}
 		io.staged[id] = &stagedNode{n: n, dirty: true}
 		// A page freed earlier in the same batch and now re-staged is live
 		// again; leaving it in freed would make commit write it and then
 		// immediately release it, dangling every reference to it.
 		delete(io.freed, id)
-		io.cacheDelete(id)
 		return nil
 	}
 	page, err := io.seal(id, n)
@@ -153,7 +228,9 @@ func (io *nodeIO) Write(id uint64, n *node.Node) error {
 	}
 	// Outside a batch, a single-page write is still routed through the
 	// store's atomic commit hook so a durable backend never applies it
-	// partially.
+	// partially. This path is not used by the façade (every façade mutation
+	// commits through a batch and publishes an epoch); it exists for direct
+	// nodeIO use in tests.
 	root, err := io.st.Root()
 	if err != nil {
 		return err
@@ -161,10 +238,15 @@ func (io *nodeIO) Write(id uint64, n *node.Node) error {
 	if err := io.st.CommitPages(map[uint64][]byte{id: page}, root, nil); err != nil {
 		// The store rejected the commit; drop any cached copy so a later
 		// read observes the store's truth, not our intent.
+		io.mu.Lock()
 		io.cacheDelete(id)
+		io.mu.Unlock()
 		return err
 	}
+	io.mu.Lock()
+	io.gen++
 	io.cacheInsert(id, n)
+	io.mu.Unlock()
 	return nil
 }
 
@@ -188,8 +270,8 @@ func (io *nodeIO) cacheGet(id uint64) (*node.Node, bool) {
 	return io.slots[idx].n, true
 }
 
-// cacheInsert stores a clean decoded node. When the ring is full the clock
-// hand sweeps forward, clearing reference bits until it finds a page with no
+// cacheInsert stores a decoded node. When the ring is full the clock hand
+// sweeps forward, clearing reference bits until it finds a page with no
 // second chance left and replaces it — recently-touched pages survive, cold
 // ones go. Callers hold io.mu.
 func (io *nodeIO) cacheInsert(id uint64, n *node.Node) {
@@ -248,49 +330,55 @@ func (io *nodeIO) cacheStats() CacheStats {
 	}
 }
 
-func (io *nodeIO) Alloc() (uint64, error) { return io.st.Alloc() }
+func (io *nodeIO) Alloc() (uint64, error) {
+	id, err := io.st.Alloc()
+	if err == nil && io.batching {
+		io.fresh[id] = true
+	}
+	return id, err
+}
 
 func (io *nodeIO) Free(id uint64) error {
-	io.mu.Lock()
-	defer io.mu.Unlock()
-	io.cacheDelete(id)
 	if io.batching {
+		if err := io.capturePreImage(id); err != nil {
+			return err
+		}
 		delete(io.staged, id)
+		if io.fresh[id] {
+			// Born and freed within the batch: it never existed anywhere.
+			delete(io.fresh, id)
+			return nil
+		}
 		io.freed[id] = true
 		return nil
 	}
+	io.mu.Lock()
+	io.cacheDelete(id)
+	io.mu.Unlock()
 	return io.st.Free(id)
 }
 
 func (io *nodeIO) Root() (uint64, error) {
-	io.mu.Lock()
 	if io.batching && io.pendingRoot != nil {
-		id := *io.pendingRoot
-		io.mu.Unlock()
-		return id, nil
+		return *io.pendingRoot, nil
 	}
-	io.mu.Unlock()
 	return io.st.Root()
 }
 
 func (io *nodeIO) SetRoot(id uint64) error {
-	io.mu.Lock()
 	if io.batching {
 		io.pendingRoot = &id
-		io.mu.Unlock()
 		return nil
 	}
-	io.mu.Unlock()
 	return io.st.SetRoot(id)
 }
 
-// invalidate empties the decoded-node cache. The façade calls it whenever a
-// mutation fails partway, since the btree layer mutates decoded nodes in
-// place before writing them and an aborted operation may leave cached nodes
-// ahead of the store.
+// invalidate empties the decoded-node cache. The façade calls it on Close;
+// tests use it to force reads back through the store.
 func (io *nodeIO) invalidate() {
 	io.mu.Lock()
 	defer io.mu.Unlock()
+	io.gen++
 	io.cacheReset()
 }
 
@@ -305,90 +393,111 @@ func (io *nodeIO) cacheReset() {
 	io.hand = 0
 }
 
-// beginBatch enters batch mode: subsequent writes stage decoded pages in
-// memory (dirty), reads pin the pages they touch (clean), and root updates
-// are deferred. Called under the Tree's exclusive lock.
+// beginBatch enters batch mode: subsequent writes stage decoded clones in
+// memory (dirty), reads stage clones of the pages they touch (clean) while
+// recording pristine pre-images, and root updates are deferred. Called under
+// the Tree's writer lock.
 func (io *nodeIO) beginBatch() {
-	io.mu.Lock()
-	defer io.mu.Unlock()
 	io.batching = true
 	io.staged = make(map[uint64]*stagedNode)
+	io.prev = make(map[uint64]*node.Node)
+	io.fresh = make(map[uint64]bool)
 	io.freed = make(map[uint64]bool)
 	io.pendingRoot = nil
 }
 
-// commitBatch leaves batch mode, sealing each DIRTY staged page exactly once
-// and handing the whole batch — pages, root, frees — to the store's atomic
-// CommitPages hook, so a durable backend applies it all-or-nothing. Pages the
-// batch only read are never re-enciphered or rewritten; they are promoted to
-// the clean cache along with the dirty ones. On error the batch is aborted
-// and the cache invalidated (seal failures happen before the store sees
-// anything; a file-backed store whose flush fails is fail-stop and recovers
-// on reopen).
-func (io *nodeIO) commitBatch() error {
-	io.mu.Lock()
-	defer io.mu.Unlock()
-	writes := make(map[uint64][]byte)
+// commitSet is one batch's harvested commit: the sealed write-set, the new
+// root, the freed page IDs, and the undo overlay (pre-images of every
+// rewritten or freed page) for the epoch this commit creates.
+type commitSet struct {
+	writes map[uint64][]byte
+	frees  []uint64
+	root   uint64
+	undo   map[uint64]*node.Node
+}
+
+// sealBatch seals each DIRTY staged page exactly once and harvests the
+// batch's commit set; pages the batch only read are never re-enciphered or
+// rewritten. It returns (nil, nil) for a no-op batch (nothing dirtied, freed,
+// or re-rooted): the caller skips the store round trip entirely. On error the
+// batch is aborted. Batch mode stays active either way until promoteBatch or
+// abortBatch; sealBatch itself touches no shared state, so concurrent epoch
+// readers are unaffected.
+func (io *nodeIO) sealBatch() (*commitSet, error) {
+	cs := &commitSet{writes: make(map[uint64][]byte)}
 	for id, sn := range io.staged {
 		if !sn.dirty {
 			continue
 		}
 		page, err := io.seal(id, sn.n)
 		if err != nil {
-			io.abortLocked()
-			return err
+			io.abortBatch()
+			return nil, err
 		}
-		writes[id] = page
+		cs.writes[id] = page
 	}
-	if len(writes) == 0 && len(io.freed) == 0 && io.pendingRoot == nil {
-		// Nothing changed; skip the store round trip (and its fsyncs), but
-		// keep the pages the batch read warm.
-		for id, sn := range io.staged {
-			io.cacheInsert(id, sn.n)
-		}
-		io.batching = false
-		io.staged, io.freed = nil, nil
-		return nil
+	if len(cs.writes) == 0 && len(io.freed) == 0 && io.pendingRoot == nil {
+		return nil, nil
 	}
-	root := io.pendingRoot
-	if root == nil {
-		cur, err := io.st.Root()
+	if io.pendingRoot != nil {
+		cs.root = *io.pendingRoot
+	} else {
+		root, err := io.st.Root()
 		if err != nil {
-			io.abortLocked()
-			return err
+			io.abortBatch()
+			return nil, err
 		}
-		root = &cur
+		cs.root = root
 	}
-	frees := make([]uint64, 0, len(io.freed))
+	cs.frees = make([]uint64, 0, len(io.freed))
 	for id := range io.freed {
-		// Pages allocated and merged away within the same batch were never
-		// written; CommitPages ignores them.
-		frees = append(frees, id)
+		cs.frees = append(cs.frees, id)
 	}
-	if err := io.st.CommitPages(writes, *root, frees); err != nil {
-		io.abortLocked()
-		return err
+	cs.undo = make(map[uint64]*node.Node, len(cs.writes)+len(cs.frees))
+	for id := range cs.writes {
+		if p, ok := io.prev[id]; ok {
+			cs.undo[id] = p
+		}
 	}
-	// Promote staged nodes to the clean cache: they now match the store.
+	for _, id := range cs.frees {
+		if p, ok := io.prev[id]; ok {
+			cs.undo[id] = p
+		}
+	}
+	return cs, nil
+}
+
+// promoteBatch ends batch mode after the store accepted the commit (or the
+// batch was a no-op, cs == nil): staged clones become the cache's current
+// versions, freed pages leave the cache, and the install-point generation
+// advances so no in-flight reader can insert a superseded version fetched
+// before the commit. The caller publishes the prepared epoch AFTER this
+// returns, so a reader can never pin the new epoch and still find pre-commit
+// content in the cache.
+func (io *nodeIO) promoteBatch(cs *commitSet) {
+	io.mu.Lock()
+	if cs != nil {
+		io.gen++
+		for _, id := range cs.frees {
+			io.cacheDelete(id)
+		}
+	}
 	for id, sn := range io.staged {
 		io.cacheInsert(id, sn.n)
 	}
-	io.batching = false
-	io.staged, io.freed, io.pendingRoot = nil, nil, nil
-	return nil
+	io.mu.Unlock()
+	io.endBatch()
 }
 
-// abortBatch discards all staged state and invalidates the cache, leaving
-// the store exactly as it was before beginBatch (modulo Alloc'd IDs, which
-// are never reused anyway).
+// abortBatch discards all staged state, leaving the tree exactly as it was
+// before beginBatch (modulo Alloc'd IDs, which are never reused anyway).
+// Because the batch mutated only private clones, the shared cache is still
+// valid and is NOT invalidated.
 func (io *nodeIO) abortBatch() {
-	io.mu.Lock()
-	defer io.mu.Unlock()
-	io.abortLocked()
+	io.endBatch()
 }
 
-func (io *nodeIO) abortLocked() {
+func (io *nodeIO) endBatch() {
 	io.batching = false
-	io.staged, io.freed, io.pendingRoot = nil, nil, nil
-	io.cacheReset()
+	io.staged, io.prev, io.fresh, io.freed, io.pendingRoot = nil, nil, nil, nil, nil
 }

@@ -40,9 +40,22 @@ func TestBatchRestageAfterFree(t *testing.T) {
 	if err := io.SetRoot(id); err != nil {
 		t.Fatal(err)
 	}
-	if err := io.commitBatch(); err != nil {
+	cs, err := io.sealBatch()
+	if err != nil {
 		t.Fatal(err)
 	}
+	if cs == nil {
+		t.Fatal("free+restage batch harvested as a no-op")
+	}
+	for _, fid := range cs.frees {
+		if fid == id {
+			t.Fatal("re-staged page still in the commit's free set")
+		}
+	}
+	if err := st.CommitPages(cs.writes, cs.root, cs.frees); err != nil {
+		t.Fatal(err)
+	}
+	io.promoteBatch(cs)
 
 	// The re-staged page must be live in the store, not freed at commit.
 	if _, err := st.ReadPage(id); err != nil {
@@ -164,19 +177,19 @@ func (cs *countingStore) ReadPage(id uint64) ([]byte, error) {
 	return cs.PageStore.ReadPage(id)
 }
 
-// TestCursorExactBatchMultipleNoExtraDescent is the regression test for the
-// cursor's redundant trailing descent: when the range size is an exact
-// multiple of cursorBatch, the final Next used to trigger one more full
-// CollectRange descent that came back empty. CollectRange now reports
-// exhaustion, so Next after the last entry must not touch the store at all.
-func TestCursorExactBatchMultipleNoExtraDescent(t *testing.T) {
-	for _, n := range []int{cursorBatch, 2 * cursorBatch} {
+// TestCursorSingleDescent pins the path-keeping cursor's read complexity: a
+// full scan reads every page at most once (one descent for the whole
+// iteration, no per-batch re-descents — the pre-epoch cursor re-descended
+// every 256 entries), and Next past the final entry touches the store not at
+// all.
+func TestCursorSingleDescent(t *testing.T) {
+	for _, n := range []int{256, 777} {
 		cs := &countingStore{PageStore: store.NewMem()}
 		tr, err := Open(Options{
 			MasterKey:  bytes.Repeat([]byte{0xD4}, 32),
 			Order:      8,
 			Store:      cs,
-			CachePages: -1, // no node cache: every descent hits the store
+			CachePages: -1, // no node cache: every page read hits the store
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -187,28 +200,31 @@ func TestCursorExactBatchMultipleNoExtraDescent(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
+		stats, err := tr.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
 		c := tr.Cursor()
-		ok := c.First()
+		before := cs.reads.Load()
 		count := 0
-		for ok {
+		for ok := c.First(); ok; ok = c.Next() {
 			count++
-			if count == n {
-				break // positioned on the final entry
-			}
-			ok = c.Next()
+		}
+		if err := c.Err(); err != nil {
+			t.Fatal(err)
 		}
 		if count != n {
 			t.Fatalf("cursor visited %d entries, want %d", count, n)
 		}
-		before := cs.reads.Load()
+		if scanned := cs.reads.Load() - before; scanned > int64(stats.Nodes) {
+			t.Errorf("n=%d: full scan read %d pages of a %d-node tree; the cursor is re-descending", n, scanned, stats.Nodes)
+		}
+		before = cs.reads.Load()
 		if c.Next() {
 			t.Fatal("Next past the final entry succeeded")
 		}
 		if got := cs.reads.Load(); got != before {
-			t.Errorf("n=%d: Next past an exact-multiple range issued %d extra store reads", n, got-before)
-		}
-		if err := c.Err(); err != nil {
-			t.Fatal(err)
+			t.Errorf("n=%d: Next past the end issued %d extra store reads", n, got-before)
 		}
 		c.Close()
 		tr.Close()

@@ -99,8 +99,8 @@ func TestOptionsStorePathExclusive(t *testing.T) {
 }
 
 // TestFileBackendCursorAcrossReopen checks ordered iteration is identical
-// before and after a reopen — the cursor path exercises CollectRange over
-// the file store's pages.
+// before and after a reopen — the cursor path exercises the snapshot
+// iterator over the file store's pages.
 func TestFileBackendCursorAcrossReopen(t *testing.T) {
 	master := bytes.Repeat([]byte{0xEA}, 32)
 	path := filepath.Join(t.TempDir(), "cursor.ekb")

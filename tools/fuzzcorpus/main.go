@@ -1,0 +1,69 @@
+// Command fuzzcorpus regenerates the checked-in fuzz seed corpora under
+// internal/*/testdata/fuzz. Run it from the repo root after changing the
+// node codec or the substituters:
+//
+//	go run ./tools/fuzzcorpus .
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/paper-repro/ekbtree/internal/node"
+)
+
+func write(dir, name string, blobs ...[]byte) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		panic(err)
+	}
+	var b bytes.Buffer
+	b.WriteString("go test fuzz v1\n")
+	for _, blob := range blobs {
+		fmt.Fprintf(&b, "[]byte(%q)\n", blob)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), b.Bytes(), 0o644); err != nil {
+		panic(err)
+	}
+}
+
+func enc(n *node.Node) []byte {
+	p, err := n.Encode()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func main() {
+	root := os.Args[1]
+	dec := filepath.Join(root, "internal/node/testdata/fuzz/FuzzDecode")
+	write(dec, "seed-empty-leaf", enc(&node.Node{Leaf: true}))
+	write(dec, "seed-leaf-entries", enc(&node.Node{
+		Leaf:   true,
+		Keys:   [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")},
+		Values: [][]byte{[]byte("1"), {}, bytes.Repeat([]byte{0xAB}, 64)},
+	}))
+	write(dec, "seed-internal", enc(&node.Node{
+		Keys:     [][]byte{bytes.Repeat([]byte{0x42}, 24)},
+		Values:   [][]byte{[]byte("sep")},
+		Children: []uint64{7, 1 << 33},
+	}))
+	write(dec, "seed-wide-internal", enc(&node.Node{
+		Keys:     [][]byte{{0x01}, {0x02}, {0x03}, {0x04}},
+		Values:   [][]byte{{0xA1}, {0xA2}, {0xA3}, {0xA4}},
+		Children: []uint64{1, 2, 3, 4, ^uint64(0)},
+	}))
+	write(dec, "seed-truncated", []byte{0xEB, 0x01, 0x01, 0x00, 0x02, 0x00})
+
+	rt := filepath.Join(root, "internal/keysub/testdata/fuzz/FuzzSubstituteRoundTrip")
+	write(rt, "seed-users", []byte("user:0001"), []byte("user:0002"))
+	write(rt, "seed-bucket-edge", []byte{0xFF, 0xFF}, []byte{0x00})
+	write(rt, "seed-prefix-pair", []byte("aa-long-suffix"), []byte("aa"))
+
+	rg := filepath.Join(root, "internal/keysub/testdata/fuzz/FuzzSubstituteRange")
+	write(rg, "seed-mid", []byte("a"), []byte("q"), []byte("m"))
+	write(rg, "seed-last-bucket", []byte{0xFF}, []byte{0xFF, 0x00}, []byte{0xFF, 0x00})
+	write(rg, "seed-unbounded", []byte{}, []byte{0xFF, 0xFF, 0xFF}, []byte{0x10, 0x20})
+}
