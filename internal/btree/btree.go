@@ -16,6 +16,15 @@ import (
 
 // NodeStore reads and writes B-tree nodes by page ID. The façade implements
 // it by composing node encoding, node encipherment, and a PageStore.
+//
+// Contract the façade's optimistic concurrency depends on: the tree ALWAYS
+// Reads a page before Writing or Freeing it (every mutation descends to its
+// leaf through Read, and splits/merges only rewrite pages on that path), and
+// only Writes pages it either Read or just Alloc'd. The façade captures a
+// transaction's read-set from its Read calls, so this read-before-write
+// discipline is what makes page-level conflict detection between concurrent
+// writers sound — a Write to a never-Read, non-fresh page would bypass
+// validation. Keep it load-bearing when changing the algorithms.
 type NodeStore interface {
 	Reader
 	Write(id uint64, n *node.Node) error

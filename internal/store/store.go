@@ -62,6 +62,16 @@ type PageStore interface {
 	// post-commit state, never a mix. Depending on the store's durability
 	// mode, a successful return may mean "applied and queued" rather than
 	// "on disk" — Sync is the durability barrier.
+	//
+	// CommitPages may be called from multiple goroutines concurrently. The
+	// engine's optimistic commit layer only overlaps commits whose write and
+	// free sets are pairwise disjoint (validation rejects everything else),
+	// so concurrent batches are order-independent except for the root
+	// pointer — and the engine routes root-pointer changes through an
+	// exclusive path that admits no concurrent commit. Stores may therefore
+	// apply concurrent batches in any order (or coalesce them, as the file
+	// backend's group-commit pipeline does) without affecting the final
+	// state.
 	CommitPages(writes map[uint64][]byte, root uint64, frees []uint64) error
 	// Sync blocks until every commit accepted before the call is durable.
 	// Stores whose commits are synchronously durable (or that have no

@@ -1,5 +1,7 @@
 package ekbtree
 
+import "github.com/paper-repro/ekbtree/internal/btree"
+
 // Batch stages a sequence of writes and applies them in one atomic-looking
 // step. During Commit the engine enters a staged write mode: every mutated
 // B-tree page is kept decoded in memory and encoded+sealed exactly once when
@@ -10,8 +12,9 @@ package ekbtree
 //
 // Operations are applied in the order they were staged, so a later Put or
 // Delete of the same key wins. Staging (Put/Delete) does not touch the tree
-// and never blocks; only Commit takes the tree's writer lock. A Batch is not
-// safe for concurrent use by multiple goroutines.
+// and never blocks; only Commit enters the tree's optimistic commit pipeline,
+// where it may run concurrently with other committing batches and single
+// mutations. A Batch is not safe for concurrent use by multiple goroutines.
 //
 // After Commit or Discard the batch is spent: further calls return ErrClosed.
 type Batch struct {
@@ -66,12 +69,22 @@ func (b *Batch) Len() int {
 	return len(b.ops)
 }
 
-// Commit applies all staged operations under the tree's writer lock, sealing
-// each touched page once, and publishes the result as ONE new epoch: a
-// concurrent reader or cursor either observes the tree from before the batch
-// or after all of it, never a half-applied state. Readers are not blocked
-// while Commit runs — they keep reading the previous epoch until the flip.
-// The batch is spent either way.
+// Commit applies all staged operations as one optimistic transaction,
+// sealing each touched page once, and publishes the result as ONE new epoch:
+// a concurrent reader or cursor either observes the tree from before the
+// batch or after all of it, never a half-applied state. Readers are not
+// blocked while Commit runs — they keep reading the previous epoch until the
+// flip — and neither are other writers: concurrent Commits validate their
+// page-level read-sets against each other and only a genuine overlap forces
+// one of them to re-run. Such conflicts are resolved INSIDE Commit: the
+// losing transaction discards its private clones and re-applies its staged
+// operations against the new tree tip (with bounded backoff, escalating to
+// an exclusive pass after repeated conflicts, so even a large batch racing a
+// storm of small puts commits within a bounded number of re-executions). No
+// conflict error ever reaches the caller, and because each re-execution
+// replays the same staged operations on fresh state, retried commits are
+// exactly as atomic and ordered as first-try ones. The batch is spent either
+// way.
 //
 // Commit is atomic. If it fails while applying operations (before the
 // flush), nothing has reached the store and the tree is unchanged. The flush
@@ -97,14 +110,16 @@ func (b *Batch) Commit() error {
 	b.done = true
 	ops := b.ops
 	b.ops = nil
-	t := b.t
-	return t.applyCommit(func() error {
+	// The closure may run more than once (conflict retries re-execute it on a
+	// fresh transaction); ops is immutable from here, so every execution
+	// replays the identical sequence.
+	return b.t.applyCommit(func(bt *btree.Tree) error {
 		for _, op := range ops {
 			var err error
 			if op.del {
-				_, err = t.bt.Delete(op.sk)
+				_, err = bt.Delete(op.sk)
 			} else {
-				err = t.bt.Put(op.sk, op.value)
+				err = bt.Put(op.sk, op.value)
 			}
 			if err != nil {
 				return err

@@ -3,8 +3,11 @@ package ekbtree
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"math/rand"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -343,6 +346,82 @@ func BenchmarkFileGet(b *testing.B) {
 		if _, ok, err := tr.Get(keys[i%len(keys)]); err != nil || !ok {
 			b.Fatalf("Get = (%v, %v)", ok, err)
 		}
+	}
+}
+
+// benchParallelPuts drives b.N fresh-key Puts through `writers` goroutines
+// against a pre-populated file tree. When serialize is non-nil every Put runs
+// under that external mutex, reproducing the pre-OCC façade where one writer
+// lock serialized all mutations — the in-run baseline the parallel numbers
+// are measured against.
+func benchParallelPuts(b *testing.B, tr *Tree, writers int, serialize *sync.Mutex) {
+	value := make([]byte, 64)
+	var next atomic.Int64
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for {
+				i := next.Add(1)
+				if i > int64(b.N) {
+					return
+				}
+				k := benchKey(rng, 10_000+int(i))
+				if serialize != nil {
+					serialize.Lock()
+				}
+				err := tr.Put(k, value)
+				if serialize != nil {
+					serialize.Unlock()
+				}
+				if err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if err := tr.Sync(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFilePutParallel measures concurrent optimistic writers through
+// the façade, per durability mode. Under DurabilityFull each commit waits
+// for its own flush but the commits overlap, so the store's group-commit
+// pipeline coalesces their fsyncs — the same effect BenchmarkCommitPipeline
+// shows at the store layer, now reachable through Put. ns/op is per Put.
+func BenchmarkFilePutParallel(b *testing.B) {
+	for _, mode := range []Durability{DurabilityFull, DurabilityGrouped, DurabilityAsync} {
+		b.Run("durability="+mode.String(), func(b *testing.B) {
+			for _, writers := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+					tr := benchFileTree(b, 10_000, mode)
+					defer tr.Close()
+					benchParallelPuts(b, tr, writers, nil)
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkFilePutSerialized is the same 8-goroutine workload forced through
+// one external mutex: what the façade's old single-writer lock made of it.
+// Compare against BenchmarkFilePutParallel writers=8 in the same run for the
+// multi-writer speedup.
+func BenchmarkFilePutSerialized(b *testing.B) {
+	for _, mode := range []Durability{DurabilityFull, DurabilityGrouped, DurabilityAsync} {
+		b.Run("durability="+mode.String(), func(b *testing.B) {
+			tr := benchFileTree(b, 10_000, mode)
+			defer tr.Close()
+			var mu sync.Mutex
+			benchParallelPuts(b, tr, 8, &mu)
+		})
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/paper-repro/ekbtree/internal/btree"
 	"github.com/paper-repro/ekbtree/internal/store"
 )
 
@@ -271,11 +272,141 @@ func TestCursorSnapshotAcrossCommit(t *testing.T) {
 	}
 }
 
+// TestCommitEscalatesAfterRepeatedConflicts is the white-box fairness test:
+// a writer whose validation keeps losing to concurrent commits must escalate
+// to an exclusive pass after exactly maxOptimisticAttempts optimistic tries,
+// and that pass must succeed — the total number of times the mutation
+// closure re-runs is bounded. The closure itself triggers the conflicting
+// Put on each optimistic attempt (between its reads and the commit's
+// validation), so every optimistic validation is guaranteed to lose.
+func TestCommitEscalatesAfterRepeatedConflicts(t *testing.T) {
+	tr := mustOpen(t, Options{MasterKey: bytes.Repeat([]byte{0xC5}, 32), Order: 8})
+	defer tr.Close()
+	// A handful of keys: the whole tree is one leaf, so any two puts
+	// conflict on the root page, and no split can change the root mid-test.
+	for _, k := range []string{"a", "b", "c"} {
+		if err := tr.Put([]byte(k), []byte("v0")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target, err := tr.substituteKey([]byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var invocations int32
+	err = tr.applyCommit(func(bt *btree.Tree) error {
+		n := atomic.AddInt32(&invocations, 1)
+		if err := bt.Put(target, []byte("final")); err != nil {
+			return err
+		}
+		if int(n) <= maxOptimisticAttempts {
+			// Commit a racing Put touching the same leaf before this
+			// attempt validates. Safe from RWMutex recursion: no exclusive
+			// acquisition is pending while optimistic attempts hold RLock.
+			done := make(chan error, 1)
+			go func() { done <- tr.Put([]byte("b"), []byte(fmt.Sprintf("race%d", n))) }()
+			if err := <-done; err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&invocations); got != maxOptimisticAttempts+1 {
+		t.Fatalf("mutation closure ran %d times, want %d (maxOptimisticAttempts optimistic + 1 exclusive)", got, maxOptimisticAttempts+1)
+	}
+	if v, ok, err := tr.Get([]byte("a")); err != nil || !ok || string(v) != "final" {
+		t.Fatalf("Get after escalated commit = (%q, %v, %v)", v, ok, err)
+	}
+	s1, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s1.Conflicts - s0.Conflicts; got != maxOptimisticAttempts {
+		t.Errorf("Conflicts advanced by %d, want %d", got, maxOptimisticAttempts)
+	}
+	if s1.Retries-s0.Retries < maxOptimisticAttempts {
+		t.Errorf("Retries advanced by %d, want >= %d", s1.Retries-s0.Retries, maxOptimisticAttempts)
+	}
+}
+
+// TestLargeBatchNotStarvedBySmallPuts is the integration fairness test: one
+// large batch races four goroutines hammering single-key puts. The batch's
+// validation window is long (hundreds of pages) and the hammerers' is tiny,
+// so without the exclusive fallback the batch could retry forever. It must
+// commit — applyCommit's escalation bounds its re-executions — and all of
+// its writes must be present afterwards.
+func TestLargeBatchNotStarvedBySmallPuts(t *testing.T) {
+	tr := mustOpen(t, Options{MasterKey: bytes.Repeat([]byte{0xC6}, 32), Order: 8})
+	defer tr.Close()
+	for i := 0; i < 400; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("seed%04d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var hammerers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		hammerers.Add(1)
+		go func(g int) {
+			defer hammerers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := []byte(fmt.Sprintf("seed%04d", (g*100+i)%400))
+				if err := tr.Put(k, []byte(fmt.Sprintf("h%d-%d", g, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	const batchKeys = 300
+	b := tr.NewBatch()
+	for i := 0; i < batchKeys; i++ {
+		if err := b.Put([]byte(fmt.Sprintf("batch%04d", i)), []byte("bv")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- b.Commit() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("large batch starved by concurrent small puts")
+	}
+	close(stop)
+	hammerers.Wait()
+
+	for i := 0; i < batchKeys; i++ {
+		k := []byte(fmt.Sprintf("batch%04d", i))
+		if v, ok, err := tr.Get(k); err != nil || !ok || string(v) != "bv" {
+			t.Fatalf("batch key %s = (%q, %v, %v) after racing commit", k, v, ok, err)
+		}
+	}
+}
+
 // TestStatsCountersConcurrentReaders exercises the Hits/Misses/Evictions/
 // Pages counters while readers, writers, and Stats callers run concurrently:
 // samples must be monotonic (hits/misses/evictions never go backwards),
 // Pages must respect the configured capacity, and traffic must actually be
-// counted. Runs under -race in CI.
+// counted. The commit counters (Commits/Conflicts/Retries) must be
+// monotonic under the same churn. Runs under -race in CI.
 func TestStatsCountersConcurrentReaders(t *testing.T) {
 	const cachePages = 8
 	tr := mustOpen(t, Options{MasterKey: bytes.Repeat([]byte{0xC3}, 32), Order: 8, CachePages: cachePages})
@@ -320,6 +451,7 @@ func TestStatsCountersConcurrentReaders(t *testing.T) {
 	}()
 
 	var last CacheStats
+	var lastCommit Stats
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
 		s, err := tr.Stats()
@@ -333,7 +465,10 @@ func TestStatsCountersConcurrentReaders(t *testing.T) {
 		if c.Pages > cachePages {
 			t.Fatalf("Pages = %d exceeds capacity %d", c.Pages, cachePages)
 		}
-		last = c
+		if s.Commits < lastCommit.Commits || s.Conflicts < lastCommit.Conflicts || s.Retries < lastCommit.Retries {
+			t.Fatalf("commit counters went backwards: %+v after %+v", s, lastCommit)
+		}
+		last, lastCommit = c, s
 		if c.Hits > 0 && c.Misses > 0 && c.Evictions > 0 && time.Now().Add(4500*time.Millisecond).After(deadline) {
 			break // sampled enough churn; let the readers finish
 		}

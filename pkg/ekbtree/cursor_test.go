@@ -218,10 +218,10 @@ func TestScanReentrancy(t *testing.T) {
 		if calls > 1 {
 			return true // re-enter only on the first callback; keep the test fast
 		}
-		if !tr.wmu.TryLock() {
-			t.Fatal("tree writer lock held during Scan callback")
+		if !tr.gate.TryLock() {
+			t.Fatal("commit gate held during Scan callback")
 		}
-		tr.wmu.Unlock()
+		tr.gate.Unlock()
 		if _, _, err := tr.Get([]byte("k005")); err != nil {
 			t.Fatalf("Get inside Scan callback: %v", err)
 		}

@@ -43,6 +43,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/paper-repro/ekbtree/internal/btree"
@@ -222,22 +223,42 @@ func deriveKey(master []byte, label string) []byte {
 // while a batch commit is flushing completes from the previous epoch without
 // waiting for the flush. Superseded pages and their cache entries are
 // reclaimed only once the last reader pinning an older epoch releases it.
-// Writers serialize among themselves on a single writer mutex.
+//
+// Writers run CONCURRENTLY under optimistic concurrency control: each
+// mutation stages private page clones against the epoch it pinned at start,
+// tracking the page-level read-set, then validates at a short critical
+// section — if no commit since its base epoch touched a page it read, it
+// links a provisional epoch, hands the sealed write-set to the store's atomic
+// CommitPages (concurrent commits genuinely overlap there, so a group-commit
+// backend coalesces their fsyncs), and publishes in chain order. On conflict
+// the provisional state is discarded and the mutation re-runs against the new
+// tip with bounded exponential backoff; after maxOptimisticAttempts failed
+// validations it takes the commit gate exclusively, which cannot conflict, so
+// every mutation completes within a bounded number of re-executions (no
+// starvation). Conflicts are invisible to callers — no error surfaces, the
+// retry happens inside the call. Commits that move the ROOT pointer (first
+// insert, root split, root collapse) always use the exclusive gate: the store
+// applies CommitPages in arrival order, so root flips must never race
+// same-root commits. Store errors, by contrast, are never retried internally
+// and propagate to the caller unchanged.
 type Tree struct {
-	wmu sync.Mutex // serializes writers (Put, Delete, Batch.Commit) and Close
-	sub keysub.Substituter
-	bt  *btree.Tree
-	st  store.PageStore
-	io  *nodeIO
-	es  *epochs
-	// commitFailed records that a CommitPages attempt has failed since the
-	// last successful commit. The FIRST failure's provisional epoch is kept
-	// (a durable store may have applied the commit before fail-stopping, so
-	// its undo overlay can be load-bearing); any store honoring the
-	// all-or-nothing CommitPages contract applies nothing on the failures
-	// after that, so their epochs are unlinked to keep the chain bounded
-	// under retry loops. Guarded by wmu.
-	commitFailed bool
+	// gate is the commit gate: optimistic writers hold it SHARED for the
+	// whole pin → mutate → validate → CommitPages → publish span (so their
+	// store commits overlap and coalesce); root-changing commits and the
+	// fairness fallback take it EXCLUSIVELY, draining all in-flight commits
+	// first. sync.RWMutex blocks new readers once a writer waits, so the
+	// exclusive path cannot starve. Close takes it exclusively too.
+	gate sync.RWMutex
+	sub  keysub.Substituter
+	st   store.PageStore
+	io   *nodeIO
+	es   *epochs
+	deg  int // btree minimum degree (order/2)
+
+	// Commit-pipeline counters, surfaced through Stats.
+	commits   atomic.Uint64 // successfully published epochs
+	conflicts atomic.Uint64 // failed optimistic validations
+	retries   atomic.Uint64 // mutation re-executions (conflicts + exclusive escalations)
 }
 
 // Open builds a tree from opts. Reopening an existing store requires the same
@@ -261,13 +282,6 @@ func Open(opts Options) (*Tree, error) {
 		return nil, mapErr(err)
 	}
 	io := newNodeIO(st, nc, cachePages)
-	bt, err := btree.New(io, order/2)
-	if err != nil {
-		if ownStore {
-			st.Close()
-		}
-		return nil, err
-	}
 	root, err := st.Root()
 	if err != nil {
 		if ownStore {
@@ -275,7 +289,7 @@ func Open(opts Options) (*Tree, error) {
 		}
 		return nil, mapErr(err)
 	}
-	return &Tree{sub: sub, bt: bt, st: st, io: io, es: newEpochs(root)}, nil
+	return &Tree{sub: sub, st: st, io: io, es: newEpochs(root), deg: order / 2}, nil
 }
 
 // metaPageID is the pseudo page ID binding the sealed header; real page IDs
@@ -329,63 +343,135 @@ func checkValueSize(value []byte) error {
 	return nil
 }
 
+// maxOptimisticAttempts bounds how many times a mutation retries
+// optimistically before falling back to the exclusive commit gate. The
+// exclusive pass drains every in-flight commit first, so its validation
+// cannot fail: every mutation completes within maxOptimisticAttempts+1
+// re-executions — the engine's fairness bound.
+const maxOptimisticAttempts = 4
+
+// commitBackoff is the bounded exponential backoff before optimistic retry
+// number attempt (1-based): 8µs, 16µs, 32µs, ... capped at 128µs. Long
+// enough for the conflicting commit wave to publish, short against even a
+// grouped-durability flush.
+func commitBackoff(attempt int) time.Duration {
+	d := time.Duration(8<<uint(attempt-1)) * time.Microsecond
+	if d > 128*time.Microsecond {
+		d = 128 * time.Microsecond
+	}
+	return d
+}
+
+// commitDisposition is tryCommit's verdict on one attempt.
+type commitDisposition int
+
+const (
+	commitDone           commitDisposition = iota // finished (success or a real error)
+	commitConflict                                // validation failed; back off and retry
+	commitNeedsExclusive                          // the mutation moves the root; redo under the exclusive gate
+)
+
 // applyCommit runs one mutation (a single op or a whole batch) through the
-// staged-commit pipeline and publishes it as a new epoch:
-//
-//  1. under the writer lock, apply stages every touched page as a private
-//     decoded clone (the shared cache and all pinned epochs stay untouched);
-//  2. sealBatch seals each dirty page once and harvests the write-set, the
-//     frees, the new root, and the pre-images of every superseded page;
-//  3. the pre-images are linked into the epoch chain as a provisional epoch
-//     BEFORE the store sees the commit, so readers pinned to older epochs
-//     keep resolving superseded pages from memory throughout;
-//  4. the store applies the whole set atomically (CommitPages) — no façade
-//     lock is held across this I/O, so concurrent Gets and cursors proceed;
-//  5. the staged clones are promoted into the shared cache, and only then is
-//     the epoch published for new readers to pin.
-//
-// On failure nothing is published: the clones are dropped, the cache still
-// holds the pre-commit versions, and the provisional epoch stays linked but
-// unpinnable (its pre-images remain load-bearing if a durable store applied
-// the commit before fail-stopping).
-func (t *Tree) applyCommit(apply func() error) error {
-	t.wmu.Lock()
-	defer t.wmu.Unlock()
-	if t.es.isClosed() {
-		return ErrClosed
+// optimistic commit pipeline until it either commits, proves a no-op, or hits
+// a real error. Each attempt re-executes apply from scratch against a fresh
+// transaction over the then-current epoch, so retried work is always built on
+// consistent state; see tryCommit for one attempt's shape and the Tree type
+// comment for the protocol.
+func (t *Tree) applyCommit(apply func(bt *btree.Tree) error) error {
+	exclusive := false
+	for attempt := 1; ; attempt++ {
+		if attempt > maxOptimisticAttempts {
+			exclusive = true
+		}
+		err, disp := t.tryCommit(apply, exclusive)
+		switch disp {
+		case commitConflict:
+			t.conflicts.Add(1)
+			t.retries.Add(1)
+			time.Sleep(commitBackoff(attempt))
+		case commitNeedsExclusive:
+			exclusive = true
+			t.retries.Add(1)
+		default:
+			return err
+		}
 	}
-	t.io.beginBatch()
-	if err := apply(); err != nil {
-		t.io.abortBatch()
-		return mapErr(err)
+}
+
+// tryCommit is one optimistic (or exclusive) commit attempt:
+//
+//  1. under the commit gate — shared for optimistic attempts, so concurrent
+//     commits overlap in the store; exclusive for root-changers and the
+//     fairness fallback — pin the current epoch as the transaction's base;
+//  2. apply stages every touched page as a private decoded clone resolving
+//     reads as of the base epoch, and records the page-level read-set (the
+//     shared cache and all pinned epochs stay untouched);
+//  3. seal seals each dirty page once (fanning out across GOMAXPROCS workers
+//     for large commits) and harvests the write-set, the frees, the new
+//     root, and the pre-images of every superseded page;
+//  4. validateAndPrepare checks the read-set against every commit linked
+//     since the base and links the pre-images into the epoch chain as a
+//     provisional epoch BEFORE the store sees the commit, so readers pinned
+//     to older epochs keep resolving superseded pages from memory;
+//  5. the store applies the whole set atomically (CommitPages) — no façade
+//     mutex or epoch lock is held across this I/O, so concurrent Gets,
+//     cursors, and other committing writers all proceed;
+//  6. in chain order, the staged clones are promoted into the shared cache
+//     and the epoch is published for new readers to pin.
+//
+// On a store error nothing is published: the clones are dropped, the cache
+// still holds the pre-commit versions, and the provisional epoch is resolved
+// failed (kept linked only while its pre-images may be load-bearing on a
+// store that applied the commit before fail-stopping).
+func (t *Tree) tryCommit(apply func(bt *btree.Tree) error, exclusive bool) (error, commitDisposition) {
+	if exclusive {
+		t.gate.Lock()
+		defer t.gate.Unlock()
+	} else {
+		t.gate.RLock()
+		defer t.gate.RUnlock()
 	}
-	cs, err := t.io.sealBatch()
+	base, err := t.es.pin()
 	if err != nil {
-		return mapErr(err)
+		return err, commitDone
+	}
+	defer t.es.release(base)
+	tx := newWriteTxn(t.io, base)
+	bt, err := btree.New(tx, t.deg)
+	if err != nil {
+		return err, commitDone
+	}
+	if err := apply(bt); err != nil {
+		return mapErr(err), commitDone
+	}
+	cs, err := tx.seal()
+	if err != nil {
+		return mapErr(err), commitDone
 	}
 	if cs == nil {
-		// Nothing changed; skip the store round trip (and its fsyncs), but
-		// keep the pages the mutation read warm in the cache.
-		t.io.promoteBatch(nil)
-		return nil
+		// A no-op (nothing dirtied, freed, or re-rooted) needs no store round
+		// trip and no validation: with no writes, the operation is
+		// serializable at its base epoch — a consistent point inside the
+		// call's window.
+		return nil, commitDone
 	}
-	e := t.es.prepare(cs.root, cs.undo)
-	if err := t.io.st.CommitPages(cs.writes, cs.root, cs.frees); err != nil {
-		t.io.abortBatch()
-		if t.commitFailed {
-			// Not the first failure since the last success: the store is
-			// fail-stopped (or rejected atomically), so nothing of this
-			// attempt was applied and the provisional epoch is unlinked —
-			// retry loops must not grow the chain unboundedly.
-			t.es.unlinkTail(e)
-		}
-		t.commitFailed = true
-		return mapErr(err)
+	if !exclusive && cs.root != tx.baseRoot {
+		// Root flips must not race other in-flight commits: the store applies
+		// concurrent CommitPages in arrival order, and a stale same-root
+		// commit landing after the flip would clobber it. Redo exclusively.
+		return nil, commitNeedsExclusive
 	}
-	t.io.promoteBatch(cs)
-	t.es.publish(e)
-	t.commitFailed = false
-	return nil
+	e, ok := t.es.validateAndPrepare(base, tx.reads, cs)
+	if !ok {
+		return nil, commitConflict
+	}
+	if err := t.st.CommitPages(cs.writes, cs.root, cs.frees); err != nil {
+		t.es.finalizeFailure(e)
+		return mapErr(err), commitDone
+	}
+	t.es.finalizeSuccess(e, func() { t.io.promoteTxn(cs, tx.staged) })
+	t.commits.Add(1)
+	return nil, commitDone
 }
 
 // Put stores value under key, replacing any existing value. Both slices are
@@ -402,7 +488,7 @@ func (t *Tree) Put(key, value []byte) error {
 		return err
 	}
 	v := append([]byte(nil), value...)
-	return t.applyCommit(func() error { return t.bt.Put(sk, v) })
+	return t.applyCommit(func(bt *btree.Tree) error { return bt.Put(sk, v) })
 }
 
 // Get returns the value stored under key. The returned slice is a fresh copy
@@ -434,9 +520,9 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 		return false, err
 	}
 	var deleted bool
-	err = t.applyCommit(func() error {
+	err = t.applyCommit(func(bt *btree.Tree) error {
 		var err error
-		deleted, err = t.bt.Delete(sk)
+		deleted, err = bt.Delete(sk)
 		return err
 	})
 	if err != nil {
@@ -486,8 +572,9 @@ func (t *Tree) cursorScan(c *Cursor, fn func(subKey, value []byte) bool) error {
 	return c.Err()
 }
 
-// Stats describes the tree: shape (key count, node count, height) plus
-// decoded-node cache traffic since Open.
+// Stats describes the tree: shape (key count, node count, height),
+// decoded-node cache traffic, and commit-pipeline contention counters since
+// Open.
 type Stats struct {
 	// Keys is the number of live entries.
 	Keys int
@@ -497,11 +584,24 @@ type Stats struct {
 	Height int
 	// Cache counts decoded-node cache hits, misses, and clock evictions.
 	Cache CacheStats
+	// Commits is the number of successfully published commit epochs. No-op
+	// mutations (e.g. deleting an absent key) publish nothing and are not
+	// counted.
+	Commits uint64
+	// Conflicts is the number of optimistic commit attempts discarded because
+	// a concurrent commit invalidated the attempt's read-set. Conflicts are
+	// retried internally; callers never observe them as errors.
+	Conflicts uint64
+	// Retries is the number of mutation re-executions: every conflict, plus
+	// every escalation to the exclusive commit gate (root-moving commits and
+	// the fairness fallback after repeated conflicts).
+	Retries uint64
 }
 
-// Stats reports tree shape and cache counters. The shape walk is O(nodes)
-// and runs against a pinned epoch, so it observes one consistent version and
-// never blocks (or is blocked by) writers.
+// Stats reports tree shape, cache counters, and commit-pipeline counters.
+// The shape walk is O(nodes) and runs against a pinned epoch, so it observes
+// one consistent version and never blocks (or is blocked by) writers. The
+// counters are monotonic for the lifetime of the handle.
 func (t *Tree) Stats() (Stats, error) {
 	e, err := t.es.pin()
 	if err != nil {
@@ -512,7 +612,13 @@ func (t *Tree) Stats() (Stats, error) {
 	if err != nil {
 		return Stats{}, mapErr(err)
 	}
-	return Stats{Keys: s.Keys, Nodes: s.Nodes, Height: s.Height, Cache: t.io.cacheStats()}, nil
+	return Stats{
+		Keys: s.Keys, Nodes: s.Nodes, Height: s.Height,
+		Cache:     t.io.cacheStats(),
+		Commits:   t.commits.Load(),
+		Conflicts: t.conflicts.Load(),
+		Retries:   t.retries.Load(),
+	}, nil
 }
 
 // Sync blocks until every write acknowledged before the call is durable on
@@ -533,8 +639,10 @@ func (t *Tree) Sync() error {
 // cursor step racing Close either completes normally or fails with
 // ErrClosed.
 func (t *Tree) Close() error {
-	t.wmu.Lock()
-	defer t.wmu.Unlock()
+	// The exclusive gate drains every in-flight commit before the chain
+	// closes, so no writer is mid-CommitPages when the store goes away.
+	t.gate.Lock()
+	defer t.gate.Unlock()
 	if !t.es.close() {
 		return ErrClosed
 	}

@@ -7,20 +7,37 @@ import (
 	"github.com/paper-repro/ekbtree/internal/node"
 )
 
-// epoch is one published version of the tree. Readers pin an epoch and then
-// resolve every page they touch as of that version, without any tree-level
-// lock: the epoch carries the root page ID of its version, and each LATER
-// epoch carries the decoded pre-images (undo) of every page the commit that
-// created it rewrote or freed. A reader at epoch E resolving page id walks
-// the chain E.next, E.next.next, ...: the FIRST epoch whose undo holds id
-// recorded id's content as it stood at E (it was the first commit after E to
-// touch the page); if no epoch after E touched id, the page's current content
-// (cache or store) is still E's content.
+// epochState tracks where a linked epoch is in its commit lifecycle. Guarded
+// by the owning epochs mutex.
+type epochState int
+
+const (
+	// epochPending: linked by a validated commit whose CommitPages call is
+	// still in flight. Its undo overlay is already load-bearing for older
+	// readers; its touched set already conflicts later validations.
+	epochPending epochState = iota
+	// epochPublished: the commit landed; readers may pin it (once current).
+	epochPublished
+	// epochFailed: the commit errored. The epoch is either kept (first
+	// failure since the last success — a fail-stopped durable store may have
+	// applied the writes, making the undo overlay load-bearing) or unlinked.
+	epochFailed
+)
+
+// epoch is one version of the tree. Readers pin an epoch and then resolve
+// every page they touch as of that version, without any tree-level lock: the
+// epoch carries the root page ID of its version, and each LATER epoch carries
+// the decoded pre-images (undo) of every page the commit that created it
+// rewrote or freed. A reader at epoch E resolving page id walks the chain
+// E.next, E.next.next, ...: the FIRST epoch whose undo holds id recorded id's
+// content as it stood at E (it was the first commit after E to touch the
+// page); if no epoch after E touched id, the page's current content (cache or
+// store) is still E's content.
 //
 // Epochs form a singly-linked chain, oldest to newest, published via atomic
-// next pointers so readers walk it without locks. An epoch's seq, root, and
-// undo map are immutable from the moment it is linked; refs is guarded by the
-// owning epochs mutex.
+// next pointers so readers walk it without locks. An epoch's seq, root, undo
+// map, and touched set are immutable from the moment it is linked; refs and
+// state are guarded by the owning epochs mutex.
 type epoch struct {
 	seq  uint64
 	root uint64
@@ -30,8 +47,13 @@ type epoch struct {
 	// an older epoch can remain (see epochs.reclaimLocked), so readers never
 	// observe the write.
 	undo map[uint64]*node.Node
-	next atomic.Pointer[epoch]
-	refs int // pinning readers; guarded by epochs.mu
+	// touched lists every page ID the commit wrote or freed. Unlike undo it
+	// is never reclaimed while the epoch is linked: optimistic validation
+	// intersects it with later writers' read-sets (see validateAndPrepare).
+	touched []uint64
+	next    atomic.Pointer[epoch]
+	refs    int // pinning readers; guarded by epochs.mu
+	state   epochState
 }
 
 // lookupUndo resolves page id as of this epoch against the undo overlays of
@@ -48,22 +70,44 @@ func (e *epoch) lookupUndo(id uint64) *node.Node {
 	return nil
 }
 
-// epochs manages the epoch chain for one Tree: pinning, publication, and
-// reclamation. The mutex guards only the chain bookkeeping (refs, head,
-// current, tail); it is never held across I/O, so pinning and releasing are
-// O(1) pauses even while a commit is flushing.
+// epochs manages the epoch chain for one Tree: pinning, optimistic-commit
+// validation, ordered publication, and reclamation. The mutex guards only the
+// chain bookkeeping (refs, head, current, tail, states); it is never held
+// across I/O, so pinning and releasing are O(1) pauses even while commits are
+// flushing. Concurrent commits validate and link under mu, run their store
+// I/O with mu released, and finalize strictly in link (seq) order via the
+// turn condition variable — so publication order always matches chain order,
+// even when CommitPages calls return out of order.
 type epochs struct {
-	mu      sync.Mutex
-	current *epoch // newest PUBLISHED epoch; what new readers pin
-	tail    *epoch // newest linked epoch (== current unless a commit is in flight or failed)
-	head    *epoch // oldest epoch that may still have pinned readers
-	closed  atomic.Bool
+	mu   sync.Mutex
+	turn sync.Cond // signaled whenever finalized advances
+	// finalized is the seq of the newest epoch whose commit outcome is
+	// resolved (published or failed). Epoch seq+1 finalizes next.
+	finalized uint64
+	// nextSeq is the seq the next linked epoch receives. It is a monotonic
+	// counter, NOT derived from tail.seq: unlinking a failed tail rolls tail
+	// back to an epoch with an older (already finalized) seq, and reusing
+	// that seq would make waitTurnLocked wait for a turn that already passed.
+	nextSeq uint64
+	// failedSince records that a commit has failed since the last success.
+	// The FIRST failure's epoch is kept (its undo may be load-bearing if a
+	// durable store applied the commit before fail-stopping); later failures
+	// provably applied nothing — the store rejected them outright or is
+	// fail-stopped — so their epochs are unlinked to keep the chain bounded
+	// under retry loops.
+	failedSince bool
+	current     *epoch // newest PUBLISHED epoch; what new readers pin
+	tail        *epoch // newest linked epoch (== current unless commits are in flight or failed)
+	head        *epoch // oldest epoch that may still have pinned readers
+	closed      atomic.Bool
 }
 
 // newEpochs seeds the chain with the store's current root as epoch 0.
 func newEpochs(root uint64) *epochs {
-	e := &epoch{seq: 0, root: root}
-	return &epochs{current: e, tail: e, head: e}
+	e := &epoch{seq: 0, root: root, state: epochPublished}
+	es := &epochs{current: e, tail: e, head: e, nextSeq: 1}
+	es.turn.L = &es.mu
+	return es
 }
 
 // pin takes a reference on the current epoch and returns it. Every pin must
@@ -88,48 +132,101 @@ func (es *epochs) release(e *epoch) {
 	es.reclaimLocked()
 }
 
-// prepare links a provisional epoch for a commit about to reach the store.
-// It MUST be linked before the store observes any of the commit's writes or
-// frees: from that moment, readers pinned to older epochs depend on the undo
-// overlay to keep resolving superseded pages. The epoch becomes visible to
-// overlay walks immediately but is not pinnable until publish. Called with
-// the writer lock held.
-func (es *epochs) prepare(root uint64, undo map[uint64]*node.Node) *epoch {
+// validateAndPrepare is the optimistic commit's critical section. It checks
+// the writer's read-set against every commit linked after the writer's base
+// epoch and, if no conflict exists, links a provisional epoch for the commit
+// about to reach the store. The epoch MUST be linked before the store
+// observes any of the commit's writes or frees: from that moment, readers
+// pinned to older epochs depend on the undo overlay to keep resolving
+// superseded pages. The epoch becomes visible to overlay walks immediately
+// but is not pinnable until finalized.
+//
+// A commit conflicts when any epoch in (base, tail] — published or still
+// pending — touched a page the writer read, or changed the root pointer the
+// writer's tree hangs off (the root check closes the one hole page conflicts
+// miss: two first-inserts into an empty tree share no pages at all). Failed
+// epochs are skipped: either the store rejected them outright and their
+// writes never landed, or the store is fail-stopped and this commit is about
+// to fail too. Two validated in-flight commits always have disjoint touched
+// sets — every non-fresh page a commit writes or frees is in its read-set —
+// which is what makes their store applications composable in either order.
+func (es *epochs) validateAndPrepare(base *epoch, reads map[uint64]struct{}, cs *commitSet) (*epoch, bool) {
 	es.mu.Lock()
 	defer es.mu.Unlock()
-	e := &epoch{seq: es.tail.seq + 1, root: root, undo: undo}
+	for f := base.next.Load(); f != nil; f = f.next.Load() {
+		if f.state == epochFailed {
+			continue
+		}
+		if f.root != base.root {
+			return nil, false
+		}
+		for _, id := range f.touched {
+			if _, ok := reads[id]; ok {
+				return nil, false
+			}
+		}
+	}
+	e := &epoch{seq: es.nextSeq, root: cs.root, undo: cs.undo, touched: cs.touched, state: epochPending}
+	es.nextSeq++
 	es.tail.next.Store(e)
 	es.tail = e
-	return e
+	return e, true
 }
 
-// publish makes a prepared epoch the current one, after the store accepted
-// the commit and the shared cache was promoted to the new versions. If the
-// commit failed instead, publish is simply never called: the provisional
-// epoch stays in the chain (its undo may be load-bearing if the store applied
-// the commit before failing) but no reader ever pins it, and it is reclaimed
-// with its predecessors once unpinned older epochs drain. Called with the
-// writer lock held.
-func (es *epochs) publish(e *epoch) {
+// waitTurnLocked blocks until every epoch linked before e has finalized, so
+// commit outcomes always resolve in chain order even when their CommitPages
+// calls return out of order. Callers hold es.mu (released while waiting).
+func (es *epochs) waitTurnLocked(e *epoch) {
+	for es.finalized != e.seq-1 {
+		es.turn.Wait()
+	}
+}
+
+// finalizeSuccess publishes a pending epoch after the store accepted its
+// commit: it waits for the epoch's turn, runs promote (the cache promotion —
+// it must complete before any reader can pin the new epoch), and flips
+// current. Readers pinning from now on see the new version; the happens-
+// before edge through es.mu guarantees they find the promoted cache.
+func (es *epochs) finalizeSuccess(e *epoch, promote func()) {
 	es.mu.Lock()
 	defer es.mu.Unlock()
+	es.waitTurnLocked(e)
+	promote()
+	e.state = epochPublished
 	es.current = e
+	es.failedSince = false
+	es.finalized = e.seq
+	es.turn.Broadcast()
 	es.reclaimLocked()
 }
 
-// unlinkTail removes a provisional epoch whose commit provably never reached
-// the store (the store rejected it outright, applying nothing), so its undo
-// overlay is dead weight. Without this, an application retrying writes
-// against a fail-stopped store would grow the chain — and every reader's
-// overlay walk — by one epoch per attempt. Unlinking is safe for concurrent
-// walkers even mid-walk: a reader still holding e resolves pages through an
-// undo whose pre-images equal the store's (unchanged) content. Called with
-// the writer lock held; only the newest, never-published epoch may be
-// unlinked.
-func (es *epochs) unlinkTail(e *epoch) {
+// finalizeFailure resolves a pending epoch whose commit errored. The first
+// failure since the last success keeps its epoch linked (see failedSince);
+// any later failure provably applied nothing, so its epoch is unlinked —
+// retry loops must not grow the chain (and every reader's overlay walk)
+// without bound. Unlinking is safe for concurrent walkers even mid-walk: a
+// reader still holding the epoch resolves pages through an undo whose
+// pre-images equal the store's (unchanged) content.
+func (es *epochs) finalizeFailure(e *epoch) {
 	es.mu.Lock()
 	defer es.mu.Unlock()
-	if es.tail != e || es.current == e {
+	es.waitTurnLocked(e)
+	e.state = epochFailed
+	if es.failedSince {
+		es.unlinkLocked(e)
+	}
+	es.failedSince = true
+	es.finalized = e.seq
+	es.turn.Broadcast()
+}
+
+// unlinkLocked removes a failed epoch from the chain. The epoch may sit
+// mid-chain (later commits can validate, link, and even finalize behind a
+// slower failing one — their touched sets are disjoint from everything they
+// validated against, so skipping the dead overlay changes nothing any reader
+// can observe). Callers hold es.mu.
+func (es *epochs) unlinkLocked(e *epoch) {
+	if es.current == e || e.state != epochFailed {
 		return
 	}
 	pred := es.head
@@ -139,8 +236,10 @@ func (es *epochs) unlinkTail(e *epoch) {
 	if pred == nil {
 		return
 	}
-	pred.next.Store(nil)
-	es.tail = pred
+	pred.next.Store(e.next.Load())
+	if es.tail == e {
+		es.tail = pred
+	}
 }
 
 // reclaimLocked advances head past epochs with no pinned readers and drops

@@ -1,7 +1,6 @@
 package ekbtree
 
 import (
-	"errors"
 	"sync"
 
 	"github.com/paper-repro/ekbtree/internal/cipher"
@@ -32,26 +31,17 @@ type CacheStats struct {
 // so the store only ever holds enciphered pages.
 //
 // On top of the plain adaptation it keeps a bounded cache of decoded nodes
-// with clock (second-chance) eviction, shared by the single writer and every
-// lock-free epoch reader. Under the epoch scheme cached nodes are IMMUTABLE:
-// the batch write path never hands the btree layer a cached node to mutate —
-// Read in batch mode returns a private clone and records the pristine
-// original as the page's pre-image — so readers may share cached nodes
-// without copying or locking beyond the cache's own short mutex sections.
-//
-// Batch mode (begin/seal/promote/abort, called under the Tree's writer lock)
-// stages writes as decoded clones with a dirty bit per page: at commit each
-// DIRTY page is encoded and sealed exactly once, while pages the batch merely
-// read are never re-enciphered or rewritten. The sealed write-set, the
-// pre-images of every rewritten or freed page (the new epoch's undo overlay),
-// and the deferred root flip are harvested by sealBatch; the façade links the
-// epoch, hands the write-set to the store, and only then promotes the staged
-// clones into the shared cache.
+// with clock (second-chance) eviction, shared by every concurrent writer
+// transaction and every lock-free epoch reader. Under the epoch scheme cached
+// nodes are IMMUTABLE: the transactional write path (writeTxn) never hands
+// the btree layer a cached node to mutate — it clones on first touch and
+// records the pristine original as the page's pre-image — so readers may
+// share cached nodes without copying or locking beyond the cache's own short
+// mutex sections. A committed transaction's clones enter the cache through
+// promoteTxn, before the commit's epoch is published.
 //
 // Locking: cache fields (ring, counters, gen) are guarded by mu and touched
 // only in short critical sections — never across store I/O or cipher work.
-// Batch-staging fields (staged, prev, fresh, freed, pendingRoot, batching)
-// are owned by the single writer and need no lock.
 type nodeIO struct {
 	st store.PageStore
 	nc cipher.NodeCipher
@@ -61,8 +51,8 @@ type nodeIO struct {
 	slots    []cacheSlot    // clock ring, grows up to maxCache
 	hand     int
 	maxCache int
-	// gen counts cache install points (batch promotes and invalidations). A
-	// reader that fetched a page outside mu inserts it only if gen is
+	// gen counts cache install points (commit promotions and invalidations).
+	// A reader that fetched a page outside mu inserts it only if gen is
 	// unchanged, so a slow reader can never clobber a newer version a commit
 	// promoted in the meantime.
 	gen uint64
@@ -70,14 +60,6 @@ type nodeIO struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
-
-	// Batch mode (writer-owned; see the type comment).
-	batching    bool
-	staged      map[uint64]*stagedNode
-	prev        map[uint64]*node.Node // pristine pre-images of pages this batch touched
-	fresh       map[uint64]bool       // pages alloc'd by this batch (no pre-image exists)
-	freed       map[uint64]bool
-	pendingRoot *uint64
 }
 
 // cacheSlot is one clock-ring entry: an immutable decoded page plus its
@@ -88,10 +70,10 @@ type cacheSlot struct {
 	ref bool
 }
 
-// stagedNode is one batch-staged decoded page — always a private clone, never
-// a cache-shared node. dirty records whether the batch wrote it; clean
-// entries exist so in-batch reads are stable and cheap, and are skipped at
-// commit.
+// stagedNode is one transaction-staged decoded page — always a private
+// clone, never a cache-shared node. dirty records whether the transaction
+// wrote it; clean entries exist so in-transaction reads are stable and cheap,
+// and are skipped at commit.
 type stagedNode struct {
 	n     *node.Node
 	dirty bool
@@ -160,77 +142,30 @@ func (io *nodeIO) ReadShared(id uint64) (*node.Node, error) {
 	return n, nil
 }
 
-// Read implements btree.NodeStore for the writer. In batch mode it serves the
-// batch's private staged clone (creating one on first touch and recording the
-// pristine node as the page's pre-image); outside batch mode it is ReadShared.
+// Read implements btree.NodeStore for direct (non-transactional) nodeIO use:
+// it is ReadShared. Façade mutations read through a writeTxn instead, which
+// clones on first touch and tracks the read-set.
 func (io *nodeIO) Read(id uint64) (*node.Node, error) {
-	if !io.batching {
-		return io.ReadShared(id)
-	}
-	if sn, ok := io.staged[id]; ok {
-		io.mu.Lock()
-		io.hits++
-		io.mu.Unlock()
-		return sn.n, nil
-	}
-	n, err := io.ReadShared(id)
-	if err != nil {
-		return nil, err
-	}
-	c := cloneNode(n)
-	io.staged[id] = &stagedNode{n: c}
-	if _, ok := io.prev[id]; !ok {
-		io.prev[id] = n
-	}
-	return c, nil
+	return io.ReadShared(id)
 }
 
-// capturePreImage records the current (pre-batch) content of id as its
-// pre-image before the batch overwrites or frees it, if one can exist: pages
-// the batch alloc'd have none, and a page the store has no record of was
-// never reachable from any epoch. Writer-only.
-func (io *nodeIO) capturePreImage(id uint64) error {
-	if io.fresh[id] {
-		return nil
-	}
-	if _, ok := io.prev[id]; ok {
-		return nil
-	}
-	n, err := io.ReadShared(id)
-	if err != nil {
-		if errors.Is(err, store.ErrNotFound) {
-			return nil
-		}
-		return err
-	}
-	io.prev[id] = n
-	return nil
+// countHit records a node read served from a transaction's staged set.
+func (io *nodeIO) countHit() {
+	io.mu.Lock()
+	io.hits++
+	io.mu.Unlock()
 }
 
 func (io *nodeIO) Write(id uint64, n *node.Node) error {
-	if io.batching {
-		// The btree layer always reads a page before writing it, so the
-		// pre-image is normally captured already; the explicit capture guards
-		// direct nodeIO use (tests) and future write paths.
-		if err := io.capturePreImage(id); err != nil {
-			return err
-		}
-		io.staged[id] = &stagedNode{n: n, dirty: true}
-		// A page freed earlier in the same batch and now re-staged is live
-		// again; leaving it in freed would make commit write it and then
-		// immediately release it, dangling every reference to it.
-		delete(io.freed, id)
-		return nil
-	}
 	page, err := io.seal(id, n)
 	if err != nil {
 		return err
 	}
-	// Outside a batch, a single-page write is still routed through the
-	// store's atomic commit hook so a durable backend never applies it
-	// partially. This path is not used by the façade (every façade mutation
-	// commits through a batch and publishes an epoch); it exists for direct
-	// nodeIO use in tests.
+	// A direct single-page write is still routed through the store's atomic
+	// commit hook so a durable backend never applies it partially. This path
+	// is not used by the façade (every façade mutation commits through a
+	// writeTxn and publishes an epoch); it exists for direct nodeIO use in
+	// tests.
 	root, err := io.st.Root()
 	if err != nil {
 		return err
@@ -331,27 +266,10 @@ func (io *nodeIO) cacheStats() CacheStats {
 }
 
 func (io *nodeIO) Alloc() (uint64, error) {
-	id, err := io.st.Alloc()
-	if err == nil && io.batching {
-		io.fresh[id] = true
-	}
-	return id, err
+	return io.st.Alloc()
 }
 
 func (io *nodeIO) Free(id uint64) error {
-	if io.batching {
-		if err := io.capturePreImage(id); err != nil {
-			return err
-		}
-		delete(io.staged, id)
-		if io.fresh[id] {
-			// Born and freed within the batch: it never existed anywhere.
-			delete(io.fresh, id)
-			return nil
-		}
-		io.freed[id] = true
-		return nil
-	}
 	io.mu.Lock()
 	io.cacheDelete(id)
 	io.mu.Unlock()
@@ -359,17 +277,10 @@ func (io *nodeIO) Free(id uint64) error {
 }
 
 func (io *nodeIO) Root() (uint64, error) {
-	if io.batching && io.pendingRoot != nil {
-		return *io.pendingRoot, nil
-	}
 	return io.st.Root()
 }
 
 func (io *nodeIO) SetRoot(id uint64) error {
-	if io.batching {
-		io.pendingRoot = &id
-		return nil
-	}
 	return io.st.SetRoot(id)
 }
 
@@ -393,111 +304,24 @@ func (io *nodeIO) cacheReset() {
 	io.hand = 0
 }
 
-// beginBatch enters batch mode: subsequent writes stage decoded clones in
-// memory (dirty), reads stage clones of the pages they touch (clean) while
-// recording pristine pre-images, and root updates are deferred. Called under
-// the Tree's writer lock.
-func (io *nodeIO) beginBatch() {
-	io.batching = true
-	io.staged = make(map[uint64]*stagedNode)
-	io.prev = make(map[uint64]*node.Node)
-	io.fresh = make(map[uint64]bool)
-	io.freed = make(map[uint64]bool)
-	io.pendingRoot = nil
-}
-
-// commitSet is one batch's harvested commit: the sealed write-set, the new
-// root, the freed page IDs, and the undo overlay (pre-images of every
-// rewritten or freed page) for the epoch this commit creates.
-type commitSet struct {
-	writes map[uint64][]byte
-	frees  []uint64
-	root   uint64
-	undo   map[uint64]*node.Node
-}
-
-// sealBatch seals each DIRTY staged page exactly once and harvests the
-// batch's commit set; pages the batch only read are never re-enciphered or
-// rewritten. It returns (nil, nil) for a no-op batch (nothing dirtied, freed,
-// or re-rooted): the caller skips the store round trip entirely. On error the
-// batch is aborted. Batch mode stays active either way until promoteBatch or
-// abortBatch; sealBatch itself touches no shared state, so concurrent epoch
-// readers are unaffected.
-func (io *nodeIO) sealBatch() (*commitSet, error) {
-	cs := &commitSet{writes: make(map[uint64][]byte)}
-	for id, sn := range io.staged {
-		if !sn.dirty {
-			continue
-		}
-		page, err := io.seal(id, sn.n)
-		if err != nil {
-			io.abortBatch()
-			return nil, err
-		}
-		cs.writes[id] = page
-	}
-	if len(cs.writes) == 0 && len(io.freed) == 0 && io.pendingRoot == nil {
-		return nil, nil
-	}
-	if io.pendingRoot != nil {
-		cs.root = *io.pendingRoot
-	} else {
-		root, err := io.st.Root()
-		if err != nil {
-			io.abortBatch()
-			return nil, err
-		}
-		cs.root = root
-	}
-	cs.frees = make([]uint64, 0, len(io.freed))
-	for id := range io.freed {
-		cs.frees = append(cs.frees, id)
-	}
-	cs.undo = make(map[uint64]*node.Node, len(cs.writes)+len(cs.frees))
-	for id := range cs.writes {
-		if p, ok := io.prev[id]; ok {
-			cs.undo[id] = p
-		}
-	}
-	for _, id := range cs.frees {
-		if p, ok := io.prev[id]; ok {
-			cs.undo[id] = p
-		}
-	}
-	return cs, nil
-}
-
-// promoteBatch ends batch mode after the store accepted the commit (or the
-// batch was a no-op, cs == nil): staged clones become the cache's current
-// versions, freed pages leave the cache, and the install-point generation
-// advances so no in-flight reader can insert a superseded version fetched
-// before the commit. The caller publishes the prepared epoch AFTER this
-// returns, so a reader can never pin the new epoch and still find pre-commit
-// content in the cache.
-func (io *nodeIO) promoteBatch(cs *commitSet) {
+// promoteTxn installs a committed transaction's staged clones as the cache's
+// current versions: freed pages leave the cache, staged nodes (dirty AND
+// clean — validation guaranteed nothing between the transaction's base and
+// its commit touched any page it read, so clean clones are still current) go
+// in, and the install-point generation advances so no in-flight reader can
+// insert a superseded version fetched before the commit. The caller publishes
+// the prepared epoch AFTER this returns (both under the epoch mutex), so a
+// reader can never pin the new epoch and still find pre-commit content in the
+// cache. An aborted or conflicted transaction simply drops its clones — the
+// shared cache was never touched, so nothing needs invalidating.
+func (io *nodeIO) promoteTxn(cs *commitSet, staged map[uint64]*stagedNode) {
 	io.mu.Lock()
-	if cs != nil {
-		io.gen++
-		for _, id := range cs.frees {
-			io.cacheDelete(id)
-		}
+	io.gen++
+	for _, id := range cs.frees {
+		io.cacheDelete(id)
 	}
-	for id, sn := range io.staged {
+	for id, sn := range staged {
 		io.cacheInsert(id, sn.n)
 	}
 	io.mu.Unlock()
-	io.endBatch()
-}
-
-// abortBatch discards all staged state, leaving the tree exactly as it was
-// before beginBatch (modulo Alloc'd IDs, which are never reused anyway).
-// Because the batch mutated only private clones, the shared cache is still
-// valid and is NOT invalidated.
-func (io *nodeIO) abortBatch() {
-	io.endBatch()
-}
-
-func (io *nodeIO) endBatch() {
-	io.batching = false
-	io.staged, io.prev, io.fresh, io.freed, io.pendingRoot = nil, nil, nil, nil, nil
 }

@@ -11,10 +11,10 @@ import (
 	"github.com/paper-repro/ekbtree/internal/store"
 )
 
-// TestBatchRestageAfterFree is the regression test for the batch-commit
-// dangling-page bug: a page freed and then re-staged within the same batch
-// used to stay in the freed set, so commit would seal and write it and then
-// immediately release it, leaving any reference to it dangling.
+// TestBatchRestageAfterFree is the regression test for the staged-commit
+// dangling-page bug: a page freed and then re-staged within the same
+// transaction used to stay in the freed set, so commit would seal and write
+// it and then immediately release it, leaving any reference to it dangling.
 func TestBatchRestageAfterFree(t *testing.T) {
 	st := store.NewMem()
 	defer st.Close()
@@ -29,23 +29,27 @@ func TestBatchRestageAfterFree(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	io.beginBatch()
-	if err := io.Free(id); err != nil {
+	root, err := st.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := newWriteTxn(io, &epoch{root: root, state: epochPublished})
+	if err := tx.Free(id); err != nil {
 		t.Fatal(err)
 	}
 	v2 := &node.Node{Leaf: true, Keys: [][]byte{[]byte("k")}, Values: [][]byte{[]byte("v2")}}
-	if err := io.Write(id, v2); err != nil {
+	if err := tx.Write(id, v2); err != nil {
 		t.Fatal(err)
 	}
-	if err := io.SetRoot(id); err != nil {
+	if err := tx.SetRoot(id); err != nil {
 		t.Fatal(err)
 	}
-	cs, err := io.sealBatch()
+	cs, err := tx.seal()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cs == nil {
-		t.Fatal("free+restage batch harvested as a no-op")
+		t.Fatal("free+restage transaction harvested as a no-op")
 	}
 	for _, fid := range cs.frees {
 		if fid == id {
@@ -55,7 +59,7 @@ func TestBatchRestageAfterFree(t *testing.T) {
 	if err := st.CommitPages(cs.writes, cs.root, cs.frees); err != nil {
 		t.Fatal(err)
 	}
-	io.promoteBatch(cs)
+	io.promoteTxn(cs, tx.staged)
 
 	// The re-staged page must be live in the store, not freed at commit.
 	if _, err := st.ReadPage(id); err != nil {
