@@ -5,12 +5,17 @@ SHELL := /bin/bash
 BENCH_PKGS = ./internal/btree/ ./internal/store/file/ ./pkg/ekbtree/
 BENCH_NOTE ?= local run
 
-.PHONY: all build vet fmt-check test race bench bench-raw bench-smoke fuzz-smoke clean
+.PHONY: all build binaries vet fmt-check test race bench bench-raw bench-smoke bench-server server-smoke fuzz-smoke clean
 
 all: vet fmt-check build test
 
 build:
 	$(GO) build ./...
+
+# binaries builds the server and its load driver into ./bin.
+binaries:
+	$(GO) build -o bin/ekbtreed ./cmd/ekbtreed
+	$(GO) build -o bin/ekbtree-bench ./cmd/ekbtree-bench
 
 vet:
 	$(GO) vet ./...
@@ -43,6 +48,40 @@ bench-raw:
 # and exercises every durability mode.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x $(BENCH_PKGS)
+
+# bench-server runs the live load driver against a freshly started ekbtreed
+# on a temp dir and refreshes BENCH_server.json: zipfian/uniform/scan mixes at
+# three concurrency levels, p50/p99/p999 recorded per point. Tune with
+# BENCH_SERVER_DURATION / BENCH_SERVER_KEYS.
+BENCH_SERVER_DURATION ?= 3s
+BENCH_SERVER_KEYS ?= 10000
+BENCH_SERVER_OUT ?= BENCH_server.json
+bench-server: binaries
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	master=$$(printf 'b%.0s' $$(seq 64)); \
+	./bin/ekbtreed -data "$$dir/data" -provision bench -master-hex "$$master"; \
+	./bin/ekbtreed -data "$$dir/data" -addr 127.0.0.1:0 -addr-file "$$dir/addr" & pid=$$!; \
+	for i in $$(seq 50); do [ -s "$$dir/addr" ] && break; sleep 0.1; done; \
+	./bin/ekbtree-bench -addr "$$(cat $$dir/addr)" -tenant bench -master-hex "$$master" \
+		-mixes zipfian,uniform,scan -conns 1,4,16 \
+		-duration $(BENCH_SERVER_DURATION) -keys $(BENCH_SERVER_KEYS) \
+		-out $(BENCH_SERVER_OUT) -note "$(BENCH_NOTE)"; \
+	kill -TERM $$pid; wait $$pid
+
+# server-smoke is the CI guard for the networked path: start ekbtreed on a
+# temp dir, push a short load through every mix, then SIGTERM and require a
+# clean drain exit.
+server-smoke: binaries
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	master=$$(printf 'b%.0s' $$(seq 64)); \
+	./bin/ekbtreed -data "$$dir/data" -provision smoke -master-hex "$$master"; \
+	./bin/ekbtreed -data "$$dir/data" -addr 127.0.0.1:0 -addr-file "$$dir/addr" & pid=$$!; \
+	for i in $$(seq 50); do [ -s "$$dir/addr" ] && break; sleep 0.1; done; \
+	./bin/ekbtree-bench -addr "$$(cat $$dir/addr)" -tenant smoke -master-hex "$$master" \
+		-mixes zipfian,uniform,scan -conns 2 -duration 300ms -keys 500 \
+		-out "$$dir/bench.json" -note smoke; \
+	kill -TERM $$pid; wait $$pid; \
+	echo "server-smoke: clean drain exit"
 
 # fuzz-smoke runs each fuzz target briefly (the checked-in seed corpora under
 # internal/*/testdata/fuzz always run as plain tests; this actually mutates).

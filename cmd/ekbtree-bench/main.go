@@ -1,0 +1,316 @@
+// Command ekbtree-bench is the load driver for ekbtreed. It drives a live
+// server over the wire protocol with zipfian, uniform, and scan-heavy
+// workload mixes at several client-concurrency levels, records every
+// operation's latency, and writes aggregate throughput plus p50/p99/p999
+// percentiles into a BENCH_server.json sharing the tools/benchjson schema:
+//
+//	ekbtree-bench -addr 127.0.0.1:4617 -tenant alice -master-hex <64 hex> \
+//	    -mixes zipfian,uniform,scan -conns 1,4,16 -duration 5s -out BENCH_server.json
+//
+// Each worker owns one connection (wire.Client is not goroutine-safe), so a
+// concurrency level of N means N authenticated TCP connections issuing
+// synchronous requests back-to-back.
+package main
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/paper-repro/ekbtree/pkg/ekbtree"
+	"github.com/paper-repro/ekbtree/pkg/ekbtree/wire"
+	"github.com/paper-repro/ekbtree/tools/benchjson/schema"
+)
+
+type benchConfig struct {
+	addr      string
+	tenant    string
+	authKey   []byte
+	keys      int
+	valueSize int
+	scanLen   int
+	duration  time.Duration
+	putFrac   float64
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4617", "ekbtreed address")
+	tenant := flag.String("tenant", "bench", "tenant namespace to drive")
+	masterHex := flag.String("master-hex", "", "hex-encoded master key (>= 32 hex chars); auth and index keys derive from it")
+	mixes := flag.String("mixes", "zipfian,uniform,scan", "comma-separated workload mixes: zipfian, uniform, scan")
+	connsList := flag.String("conns", "1,4,16", "comma-separated client concurrency levels")
+	duration := flag.Duration("duration", 5*time.Second, "measured run length per mix/concurrency point")
+	keys := flag.Int("keys", 10000, "keyspace size (preloaded before measuring)")
+	valueSize := flag.Int("value-size", 128, "value size in bytes")
+	scanLen := flag.Int("scan-len", 50, "entries streamed per scan operation")
+	putFrac := flag.Float64("put-frac", 0.2, "fraction of writes in the zipfian/uniform mixes")
+	out := flag.String("out", "BENCH_server.json", "output report path")
+	note := flag.String("note", "", "commit_note for the report")
+	flag.Parse()
+
+	master, err := hex.DecodeString(*masterHex)
+	if err != nil || len(master) < 16 {
+		fatalf("-master-hex must be >= 32 hex chars of key material (%v)", err)
+	}
+	material, err := ekbtree.DeriveMaterial(master)
+	if err != nil {
+		fatalf("derive material: %v", err)
+	}
+
+	cfg := benchConfig{
+		addr:      *addr,
+		tenant:    *tenant,
+		authKey:   material.AuthKey,
+		keys:      *keys,
+		valueSize: *valueSize,
+		scanLen:   *scanLen,
+		duration:  *duration,
+		putFrac:   *putFrac,
+	}
+
+	var levels []int
+	for _, s := range strings.Split(*connsList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fatalf("bad -conns entry %q", s)
+		}
+		levels = append(levels, n)
+	}
+	mixNames := strings.Split(*mixes, ",")
+	for i := range mixNames {
+		mixNames[i] = strings.TrimSpace(mixNames[i])
+	}
+
+	if err := preload(cfg); err != nil {
+		fatalf("preload: %v", err)
+	}
+
+	rep := schema.Report{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		CommitNote: *note,
+		Goos:       runtime.GOOS,
+		Goarch:     runtime.GOARCH,
+		CPU:        fmt.Sprintf("GOMAXPROCS=%d", runtime.GOMAXPROCS(0)),
+		Command:    strings.Join(os.Args, " "),
+		Notes: fmt.Sprintf("live ekbtreed load: %d-key space, %dB values, scan-len %d, put-frac %.2f, %s per point; latency measured per synchronous wire op",
+			cfg.keys, cfg.valueSize, cfg.scanLen, cfg.putFrac, cfg.duration),
+	}
+
+	for _, mix := range mixNames {
+		for _, conns := range levels {
+			res, err := runPoint(cfg, mix, conns)
+			if err != nil {
+				fatalf("%s/conns=%d: %v", mix, conns, err)
+			}
+			rep.Results = append(rep.Results, res)
+			fmt.Fprintf(os.Stderr, "%-8s conns=%-3d %9.0f ops/s  p50=%s p99=%s p999=%s\n",
+				mix, conns, res.OpsPerSec,
+				time.Duration(res.P50Ns), time.Duration(res.P99Ns), time.Duration(res.P999Ns))
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("encode report: %v", err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ekbtree-bench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func dialAuthed(cfg benchConfig) (*wire.Client, error) {
+	c, err := wire.Dial(cfg.addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Handshake(cfg.tenant, cfg.authKey); err != nil {
+		c.Close()
+		return nil, err
+	}
+	if err := c.Open(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func benchKey(i int) []byte { return []byte(fmt.Sprintf("bench-%08d", i)) }
+func benchValue(cfg benchConfig, i int) []byte {
+	v := make([]byte, cfg.valueSize)
+	copy(v, fmt.Sprintf("v%08d|", i))
+	return v
+}
+
+// preload stages the whole keyspace through BatchCommit so every mix runs
+// against a warm, fully populated index.
+func preload(cfg benchConfig) error {
+	c, err := dialAuthed(cfg)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	const chunk = 500
+	for lo := 0; lo < cfg.keys; lo += chunk {
+		hi := lo + chunk
+		if hi > cfg.keys {
+			hi = cfg.keys
+		}
+		ops := make([]wire.BatchOp, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			ops = append(ops, wire.BatchOp{Key: benchKey(i), Value: benchValue(cfg, i)})
+		}
+		if err := c.BatchCommit(ops); err != nil {
+			return err
+		}
+	}
+	return c.Sync()
+}
+
+// runPoint measures one (mix, concurrency) configuration and returns its
+// aggregated result.
+func runPoint(cfg benchConfig, mix string, conns int) (schema.Result, error) {
+	clients := make([]*wire.Client, conns)
+	for i := range clients {
+		c, err := dialAuthed(cfg)
+		if err != nil {
+			for _, prev := range clients[:i] {
+				prev.Close()
+			}
+			return schema.Result{}, err
+		}
+		clients[i] = c
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []int64
+		firstErr  error
+	)
+	start := time.Now()
+	deadline := start.Add(cfg.duration)
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int, c *wire.Client) {
+			defer wg.Done()
+			// Deterministic per-worker seed: runs are repeatable and workers
+			// never share a stream.
+			rng := rand.New(rand.NewSource(int64(0x9E3779B9*uint32(w)) + 1))
+			zipf := rand.NewZipf(rng, 1.1, 1, uint64(cfg.keys-1))
+			local := make([]int64, 0, 1<<14)
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				err := oneOp(cfg, mix, c, rng, zipf)
+				lat := time.Since(t0).Nanoseconds()
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("worker %d: %w", w, err)
+					}
+					mu.Unlock()
+					return
+				}
+				local = append(local, lat)
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}(w, clients[w])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return schema.Result{}, firstErr
+	}
+	if len(latencies) == 0 {
+		return schema.Result{}, fmt.Errorf("no operations completed")
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var sum int64
+	for _, l := range latencies {
+		sum += l
+	}
+	n := int64(len(latencies))
+	return schema.Result{
+		Pkg:       "cmd/ekbtreed",
+		Name:      fmt.Sprintf("ServerLoad/mix=%s/conns=%d", mix, conns),
+		Mix:       mix,
+		Conns:     conns,
+		Iters:     n,
+		NsPerOp:   float64(sum) / float64(n),
+		OpsPerSec: float64(n) / elapsed.Seconds(),
+		P50Ns:     percentile(latencies, 0.50),
+		P99Ns:     percentile(latencies, 0.99),
+		P999Ns:    percentile(latencies, 0.999),
+	}, nil
+}
+
+// oneOp issues a single operation of the given mix. A scan counts the whole
+// cursor-open/stream/close sequence as one operation.
+func oneOp(cfg benchConfig, mix string, c *wire.Client, rng *rand.Rand, zipf *rand.Zipf) error {
+	switch mix {
+	case "zipfian", "uniform":
+		var i int
+		if mix == "zipfian" {
+			i = int(zipf.Uint64())
+		} else {
+			i = rng.Intn(cfg.keys)
+		}
+		if rng.Float64() < cfg.putFrac {
+			return c.Put(benchKey(i), benchValue(cfg, i))
+		}
+		_, _, err := c.Get(benchKey(i))
+		return err
+	case "scan":
+		lo := benchKey(rng.Intn(cfg.keys))
+		id, err := c.CursorOpen(lo, nil)
+		if err != nil {
+			return err
+		}
+		streamed, done := 0, false
+		for streamed < cfg.scanLen && !done {
+			var batch []wire.Entry
+			batch, done, err = c.CursorNext(id, cfg.scanLen-streamed)
+			if err != nil {
+				return err
+			}
+			streamed += len(batch)
+		}
+		if !done {
+			return c.CursorClose(id)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown mix %q (want zipfian, uniform, or scan)", mix)
+	}
+}
+
+// percentile returns the p-quantile of sorted (ascending) latencies via the
+// nearest-rank method.
+func percentile(sorted []int64, p float64) float64 {
+	idx := int(p * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx])
+}

@@ -1,0 +1,67 @@
+package ekbtree
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// statsJSON is the stable wire shape of Stats: snake_case field names, cache
+// counters nested. The ekbtreed Stats op and the load driver emit exactly
+// this shape, so tooling on both sides of the wire shares one schema.
+type statsJSON struct {
+	Keys      int            `json:"keys"`
+	Nodes     int            `json:"nodes"`
+	Height    int            `json:"height"`
+	Cache     cacheStatsJSON `json:"cache"`
+	Commits   uint64         `json:"commits"`
+	Conflicts uint64         `json:"conflicts"`
+	Retries   uint64         `json:"retries"`
+}
+
+type cacheStatsJSON struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Pages     int    `json:"pages"`
+}
+
+// MarshalJSON renders the stats in their stable snake_case wire shape.
+func (s Stats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(statsJSON{
+		Keys: s.Keys, Nodes: s.Nodes, Height: s.Height,
+		Cache: cacheStatsJSON{
+			Hits: s.Cache.Hits, Misses: s.Cache.Misses,
+			Evictions: s.Cache.Evictions, Pages: s.Cache.Pages,
+		},
+		Commits: s.Commits, Conflicts: s.Conflicts, Retries: s.Retries,
+	})
+}
+
+// UnmarshalJSON parses the shape MarshalJSON produces, so Stats round-trips
+// through its own JSON (the wire client decodes a server's Stats response
+// straight back into this type).
+func (s *Stats) UnmarshalJSON(b []byte) error {
+	var j statsJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*s = Stats{
+		Keys: j.Keys, Nodes: j.Nodes, Height: j.Height,
+		Cache: CacheStats{
+			Hits: j.Cache.Hits, Misses: j.Cache.Misses,
+			Evictions: j.Cache.Evictions, Pages: j.Cache.Pages,
+		},
+		Commits: j.Commits, Conflicts: j.Conflicts, Retries: j.Retries,
+	}
+	return nil
+}
+
+// String renders the stats in a compact single-line human-readable form.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"keys=%d nodes=%d height=%d cache{hits=%d misses=%d evictions=%d pages=%d} commits=%d conflicts=%d retries=%d",
+		s.Keys, s.Nodes, s.Height,
+		s.Cache.Hits, s.Cache.Misses, s.Cache.Evictions, s.Cache.Pages,
+		s.Commits, s.Conflicts, s.Retries,
+	)
+}

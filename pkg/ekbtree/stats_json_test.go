@@ -1,0 +1,71 @@
+package ekbtree
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestStatsJSONRoundTrip(t *testing.T) {
+	want := Stats{
+		Keys: 42, Nodes: 7, Height: 3,
+		Cache:   CacheStats{Hits: 100, Misses: 20, Evictions: 5, Pages: 64},
+		Commits: 9, Conflicts: 2, Retries: 3,
+	}
+	b, err := json.Marshal(want)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	// The wire shape is stable snake_case with nested cache counters.
+	for _, field := range []string{
+		`"keys":42`, `"nodes":7`, `"height":3`, `"hits":100`, `"misses":20`,
+		`"evictions":5`, `"pages":64`, `"commits":9`, `"conflicts":2`, `"retries":3`,
+	} {
+		if !strings.Contains(string(b), field) {
+			t.Errorf("marshaled stats %s missing %s", b, field)
+		}
+	}
+	var got Stats
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got != want {
+		t.Fatalf("round trip: got %+v, want %+v", got, want)
+	}
+}
+
+func TestStatsJSONFromLiveTree(t *testing.T) {
+	tr := mustOpen(t, Options{MasterKey: bytes.Repeat([]byte{0x31}, 32)})
+	defer tr.Close()
+	for _, k := range []string{"a", "b", "c"} {
+		if err := tr.Put([]byte(k), []byte("v-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Stats
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("live round trip: got %+v, want %+v", got, want)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Keys: 1, Nodes: 2, Height: 3, Commits: 4}
+	str := s.String()
+	for _, part := range []string{"keys=1", "nodes=2", "height=3", "commits=4", "cache{"} {
+		if !strings.Contains(str, part) {
+			t.Errorf("String() = %q missing %q", str, part)
+		}
+	}
+}

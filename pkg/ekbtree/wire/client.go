@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is a synchronous connection to an ekbtreed server: one request in
+// flight at a time, in protocol order. It is NOT safe for concurrent use by
+// multiple goroutines — open one Client per worker (that is also how the
+// server's connection-level parallelism is meant to be exercised).
+type Client struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// Dial connects to an ekbtreed server. The returned client is connected but
+// not yet authenticated; call Handshake next.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established connection (useful for tests and custom
+// transports).
+func NewClient(nc net.Conn) *Client {
+	return &Client{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+}
+
+// Close closes the underlying connection. Server-side, closing releases every
+// cursor the connection still holds.
+func (c *Client) Close() error { return c.nc.Close() }
+
+// do sends one request and returns the OK body of its response.
+func (c *Client) do(req Request) ([]byte, error) {
+	if err := WriteFrame(c.bw, EncodeRequest(req)); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	payload, err := ReadFrame(c.br)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeResponse(payload)
+}
+
+// Handshake authenticates the connection as tenant, proving knowledge of the
+// tenant's authentication subkey (ekbtree.DeriveMaterial(master).AuthKey).
+// On failure the server closes the connection; the client is then unusable.
+func (c *Client) Handshake(tenant string, authKey []byte) error {
+	challenge, err := c.do(&Hello{Version: ProtocolVersion, Tenant: tenant})
+	if err != nil {
+		return err
+	}
+	if len(challenge) != ChallengeSize {
+		return errorf("challenge is %d bytes, want %d", len(challenge), ChallengeSize)
+	}
+	_, err = c.do(&Auth{Proof: ProveAuth(authKey, challenge, tenant)})
+	return err
+}
+
+// Open attaches the authenticated tenant's tree; required once before any
+// data-plane call.
+func (c *Client) Open() error {
+	_, err := c.do(&Open{})
+	return err
+}
+
+// Put stores value under the plaintext key.
+func (c *Client) Put(key, value []byte) error {
+	_, err := c.do(&Put{Key: key, Value: value})
+	return err
+}
+
+// Get returns the value stored under the plaintext key.
+func (c *Client) Get(key []byte) ([]byte, bool, error) {
+	body, err := c.do(&Get{Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	return DecodeGetBody(body)
+}
+
+// Delete removes the plaintext key, reporting whether it was present.
+func (c *Client) Delete(key []byte) (bool, error) {
+	body, err := c.do(&Delete{Key: key})
+	if err != nil {
+		return false, err
+	}
+	return DecodeFoundBody(body)
+}
+
+// BatchCommit applies ops in order as one atomic commit.
+func (c *Client) BatchCommit(ops []BatchOp) error {
+	_, err := c.do(&BatchCommit{Ops: ops})
+	return err
+}
+
+// CursorOpen opens a snapshot cursor over [lo, hi) in plaintext bounds (nil =
+// unbounded), pinned to the tree version current at the call, and returns its
+// ID.
+func (c *Client) CursorOpen(lo, hi []byte) (uint64, error) {
+	req := &CursorOpen{HasLo: lo != nil, Lo: lo, HasHi: hi != nil, Hi: hi}
+	body, err := c.do(req)
+	if err != nil {
+		return 0, err
+	}
+	return DecodeCursorIDBody(body)
+}
+
+// CursorNext streams up to max entries from cursor id. done is true once the
+// cursor is exhausted (the server has closed it; no CursorClose needed).
+func (c *Client) CursorNext(id uint64, max int) (entries []Entry, done bool, err error) {
+	if max <= 0 {
+		return nil, false, fmt.Errorf("wire: CursorNext max must be positive")
+	}
+	body, err := c.do(&CursorNext{Cursor: id, Max: uint64(max)})
+	if err != nil {
+		return nil, false, err
+	}
+	return DecodeEntriesBody(body)
+}
+
+// CursorClose releases cursor id and its snapshot pin.
+func (c *Client) CursorClose(id uint64) error {
+	_, err := c.do(&CursorClose{Cursor: id})
+	return err
+}
+
+// Stats returns the tenant tree's stats as JSON (unmarshal into
+// ekbtree.Stats).
+func (c *Client) Stats() ([]byte, error) {
+	body, err := c.do(&Stats{})
+	if err != nil {
+		return nil, err
+	}
+	return DecodeBytesBody(body)
+}
+
+// Sync blocks until every write acknowledged before the call is durable on
+// the server.
+func (c *Client) Sync() error {
+	_, err := c.do(&Sync{})
+	return err
+}

@@ -1,0 +1,212 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Status is the first byte of every response payload.
+type Status byte
+
+const (
+	StatusOK  Status = 0x00
+	StatusErr Status = 0x01
+)
+
+// ErrCode classifies a StatusErr response. Codes are deliberately coarse: in
+// particular every authentication failure — unknown tenant, wrong key, stale
+// proof — is the single generic CodeAuth, so the handshake leaks nothing
+// about which part failed.
+type ErrCode uint64
+
+const (
+	// CodeAuth: the handshake failed. Generic by design; the server closes
+	// the connection after sending it.
+	CodeAuth ErrCode = 1
+	// CodeBadRequest: the request was malformed, out of protocol order
+	// (e.g. a data op before Open), or spoke an unsupported version.
+	CodeBadRequest ErrCode = 2
+	// CodeTooLarge: a key or value exceeds the engine's encodable limits.
+	CodeTooLarge ErrCode = 3
+	// CodeDraining: the server is shutting down and no longer accepts new
+	// work on this connection.
+	CodeDraining ErrCode = 4
+	// CodeConnLimit: the server is at its connection limit.
+	CodeConnLimit ErrCode = 5
+	// CodeUnknownCursor: the cursor ID is not open on this connection.
+	CodeUnknownCursor ErrCode = 6
+	// CodeCursorLimit: the connection has too many cursors open.
+	CodeCursorLimit ErrCode = 7
+	// CodeInternal: the engine failed the operation; the message carries
+	// detail.
+	CodeInternal ErrCode = 8
+)
+
+// String names the code.
+func (c ErrCode) String() string {
+	switch c {
+	case CodeAuth:
+		return "auth failed"
+	case CodeBadRequest:
+		return "bad request"
+	case CodeTooLarge:
+		return "too large"
+	case CodeDraining:
+		return "draining"
+	case CodeConnLimit:
+		return "connection limit"
+	case CodeUnknownCursor:
+		return "unknown cursor"
+	case CodeCursorLimit:
+		return "cursor limit"
+	case CodeInternal:
+		return "internal error"
+	default:
+		return fmt.Sprintf("error code %d", uint64(c))
+	}
+}
+
+// Error is the typed error a client surfaces for a StatusErr response.
+type Error struct {
+	Code ErrCode
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("wire: server error: %s", e.Code)
+	}
+	return fmt.Sprintf("wire: server error: %s: %s", e.Code, e.Msg)
+}
+
+// IsCode reports whether err is a server Error carrying code.
+func IsCode(err error, code ErrCode) bool {
+	var we *Error
+	return errors.As(err, &we) && we.Code == code
+}
+
+// EncodeOK renders a success response payload wrapping body (which may be
+// nil).
+func EncodeOK(body []byte) []byte {
+	return append([]byte{byte(StatusOK)}, body...)
+}
+
+// EncodeErr renders an error response payload.
+func EncodeErr(code ErrCode, msg string) []byte {
+	b := []byte{byte(StatusErr)}
+	b = appendUvarint(b, uint64(code))
+	return appendBytes(b, []byte(msg))
+}
+
+// DecodeResponse splits a response payload into its OK body, or returns the
+// server's *Error for a StatusErr payload.
+func DecodeResponse(payload []byte) ([]byte, error) {
+	if len(payload) == 0 {
+		return nil, errorf("empty response")
+	}
+	switch Status(payload[0]) {
+	case StatusOK:
+		return payload[1:], nil
+	case StatusErr:
+		d := &decoder{b: payload[1:]}
+		code := ErrCode(d.uvarint())
+		msg := string(d.bytes())
+		if err := d.finish(); err != nil {
+			return nil, err
+		}
+		return nil, &Error{Code: code, Msg: msg}
+	default:
+		return nil, errorf("unknown status 0x%02x", payload[0])
+	}
+}
+
+// Entry is one (substituted key, value) pair streamed by CursorNext. The key
+// is substituted — the plaintext key is not recoverable from the tree, so it
+// cannot cross the wire back.
+type Entry struct {
+	SubKey []byte
+	Value  []byte
+}
+
+// EncodeGetBody renders the Get OK body.
+func EncodeGetBody(value []byte, found bool) []byte {
+	b := appendBool(nil, found)
+	if found {
+		b = appendBytes(b, value)
+	}
+	return b
+}
+
+// DecodeGetBody parses the Get OK body.
+func DecodeGetBody(body []byte) (value []byte, found bool, err error) {
+	d := &decoder{b: body}
+	if found = d.bool(); found {
+		value = d.bytes()
+	}
+	return value, found, d.finish()
+}
+
+// EncodeFoundBody renders the Delete OK body.
+func EncodeFoundBody(found bool) []byte {
+	return appendBool(nil, found)
+}
+
+// DecodeFoundBody parses the Delete OK body.
+func DecodeFoundBody(body []byte) (bool, error) {
+	d := &decoder{b: body}
+	found := d.bool()
+	return found, d.finish()
+}
+
+// EncodeCursorIDBody renders the CursorOpen OK body.
+func EncodeCursorIDBody(id uint64) []byte {
+	return appendUvarint(nil, id)
+}
+
+// DecodeCursorIDBody parses the CursorOpen OK body.
+func DecodeCursorIDBody(body []byte) (uint64, error) {
+	d := &decoder{b: body}
+	id := d.uvarint()
+	return id, d.finish()
+}
+
+// EncodeEntriesBody renders the CursorNext OK body: the entries followed by
+// the done flag.
+func EncodeEntriesBody(entries []Entry, done bool) []byte {
+	b := appendUvarint(nil, uint64(len(entries)))
+	for _, e := range entries {
+		b = appendBytes(b, e.SubKey)
+		b = appendBytes(b, e.Value)
+	}
+	return appendBool(b, done)
+}
+
+// DecodeEntriesBody parses the CursorNext OK body.
+func DecodeEntriesBody(body []byte) (entries []Entry, done bool, err error) {
+	d := &decoder{b: body}
+	n := d.uvarint()
+	if d.err == nil && n > MaxFrame/2 {
+		d.fail()
+	}
+	if d.err == nil && n > 0 {
+		entries = make([]Entry, 0, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			entries = append(entries, Entry{SubKey: d.bytes(), Value: d.bytes()})
+		}
+	}
+	done = d.bool()
+	return entries, done, d.finish()
+}
+
+// EncodeBytesBody renders an OK body that is one length-prefixed blob (the
+// Stats JSON).
+func EncodeBytesBody(p []byte) []byte {
+	return appendBytes(nil, p)
+}
+
+// DecodeBytesBody parses a one-blob OK body.
+func DecodeBytesBody(body []byte) ([]byte, error) {
+	d := &decoder{b: body}
+	p := d.bytes()
+	return p, d.finish()
+}

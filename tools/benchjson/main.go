@@ -3,6 +3,9 @@
 // reproducibly:
 //
 //	go test -run '^$' -bench . -benchmem ./... | go run ./tools/benchjson -note "..."
+//
+// The output shape (tools/benchjson/schema) is shared with cmd/ekbtree-bench,
+// which records live server latency distributions into BENCH_server.json.
 package main
 
 import (
@@ -15,28 +18,9 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"github.com/paper-repro/ekbtree/tools/benchjson/schema"
 )
-
-type result struct {
-	Pkg         string  `json:"pkg"`
-	Name        string  `json:"name"`
-	Durability  string  `json:"durability,omitempty"`
-	Iters       int64   `json:"iters"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-}
-
-type report struct {
-	Date       string   `json:"date"`
-	CommitNote string   `json:"commit_note"`
-	Goos       string   `json:"goos"`
-	Goarch     string   `json:"goarch"`
-	CPU        string   `json:"cpu"`
-	Command    string   `json:"command"`
-	Results    []result `json:"results"`
-	Notes      string   `json:"notes,omitempty"`
-}
 
 func main() {
 	note := flag.String("note", "", "commit_note for the report")
@@ -44,7 +28,7 @@ func main() {
 	command := flag.String("command", "make bench", "command recorded in the report")
 	flag.Parse()
 
-	rep := report{
+	rep := schema.Report{
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		CommitNote: *note,
 		Goos:       runtime.GOOS,
@@ -81,7 +65,7 @@ func main() {
 		if len(fields) < 4 {
 			continue
 		}
-		r := result{Pkg: pkg}
+		r := schema.Result{Pkg: pkg}
 		// Strip the trailing -GOMAXPROCS suffix from the benchmark name.
 		r.Name = fields[0]
 		if i := strings.LastIndex(r.Name, "-"); i > 0 {

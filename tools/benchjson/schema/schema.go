@@ -1,0 +1,47 @@
+// Package schema defines the one JSON shape every BENCH_*.json file in this
+// repo shares: BENCH_btree.json (produced by tools/benchjson from `go test
+// -bench` output) and BENCH_server.json (produced by cmd/ekbtree-bench from
+// live wire-protocol load runs). Keeping both emitters on one struct means
+// one consumer can compare library-level and server-level numbers directly —
+// and the latency-percentile fields added for the server harness are equally
+// available to future microbenchmark tooling.
+package schema
+
+// Result is one benchmark's numbers. The microbenchmark fields (iters,
+// ns_per_op, B/op, allocs/op) come straight from `go test -bench`; the
+// latency-distribution fields (p50/p99/p999, ops_per_sec) are optional and
+// recorded by load harnesses that observe individual operation latencies.
+type Result struct {
+	Pkg        string `json:"pkg"`
+	Name       string `json:"name"`
+	Durability string `json:"durability,omitempty"`
+	// Mix and Conns identify a load-driver configuration (workload mix and
+	// client concurrency); empty for microbenchmarks.
+	Mix   string `json:"mix,omitempty"`
+	Conns int    `json:"conns,omitempty"`
+
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+
+	// OpsPerSec is aggregate throughput across all clients.
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
+	// P50Ns, P99Ns, and P999Ns are per-operation latency percentiles in
+	// nanoseconds.
+	P50Ns  float64 `json:"p50_ns,omitempty"`
+	P99Ns  float64 `json:"p99_ns,omitempty"`
+	P999Ns float64 `json:"p999_ns,omitempty"`
+}
+
+// Report is a whole BENCH_*.json file.
+type Report struct {
+	Date       string   `json:"date"`
+	CommitNote string   `json:"commit_note"`
+	Goos       string   `json:"goos"`
+	Goarch     string   `json:"goarch"`
+	CPU        string   `json:"cpu"`
+	Command    string   `json:"command"`
+	Results    []Result `json:"results"`
+	Notes      string   `json:"notes,omitempty"`
+}
