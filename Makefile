@@ -5,7 +5,7 @@ SHELL := /bin/bash
 BENCH_PKGS = ./internal/btree/ ./internal/store/file/ ./pkg/ekbtree/
 BENCH_NOTE ?= local run
 
-.PHONY: all build binaries vet fmt-check test race bench bench-raw bench-smoke bench-server server-smoke fuzz-smoke clean
+.PHONY: all build binaries vet fmt-check test test-sharded race bench bench-raw bench-smoke bench-server server-smoke fuzz-smoke clean
 
 all: vet fmt-check build test
 
@@ -34,6 +34,14 @@ race:
 	$(GO) test -race ./...
 	EKBTREE_BACKEND=file $(GO) test -race ./pkg/...
 
+# test-sharded repeats the façade suite with every test tree defaulting to
+# three range shards (EKBTREE_SHARDS repoints Options.Shards the same way
+# EKBTREE_BACKEND repoints the store); the file flavor runs -short because
+# sharded trees triple the fsync traffic of the slow durability sweeps.
+test-sharded:
+	EKBTREE_SHARDS=3 $(GO) test ./pkg/ekbtree/
+	EKBTREE_BACKEND=file EKBTREE_SHARDS=3 $(GO) test -short ./pkg/ekbtree/
+
 # bench regenerates BENCH_btree.json-style output on stdout; redirect to
 # refresh the checked-in file:  make bench BENCH_NOTE="PR N: ..." > BENCH_btree.json
 bench:
@@ -52,36 +60,48 @@ bench-smoke:
 # bench-server runs the live load driver against a freshly started ekbtreed
 # on a temp dir and refreshes BENCH_server.json: zipfian/uniform/scan mixes at
 # three concurrency levels, p50/p99/p999 recorded per point. Tune with
-# BENCH_SERVER_DURATION / BENCH_SERVER_KEYS.
+# BENCH_SERVER_DURATION / BENCH_SERVER_KEYS; a shard sweep is one run per
+# count, e.g.  make bench-server BENCH_SERVER_SHARDS=4 \
+#   BENCH_SERVER_MIXES=ingest BENCH_SERVER_OUT=bench-shards4.json
 BENCH_SERVER_DURATION ?= 3s
 BENCH_SERVER_KEYS ?= 10000
 BENCH_SERVER_OUT ?= BENCH_server.json
+BENCH_SERVER_MIXES ?= zipfian,uniform,scan
+BENCH_SERVER_CONNS ?= 1,4,16
+BENCH_SERVER_SHARDS ?= 1
+BENCH_SERVER_BATCH ?= 64
 bench-server: binaries
 	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
 	master=$$(printf 'b%.0s' $$(seq 64)); \
 	./bin/ekbtreed -data "$$dir/data" -provision bench -master-hex "$$master"; \
-	./bin/ekbtreed -data "$$dir/data" -addr 127.0.0.1:0 -addr-file "$$dir/addr" & pid=$$!; \
+	./bin/ekbtreed -data "$$dir/data" -addr 127.0.0.1:0 -addr-file "$$dir/addr" \
+		-shards $(BENCH_SERVER_SHARDS) & pid=$$!; \
 	for i in $$(seq 50); do [ -s "$$dir/addr" ] && break; sleep 0.1; done; \
 	./bin/ekbtree-bench -addr "$$(cat $$dir/addr)" -tenant bench -master-hex "$$master" \
-		-mixes zipfian,uniform,scan -conns 1,4,16 \
+		-mixes $(BENCH_SERVER_MIXES) -conns $(BENCH_SERVER_CONNS) \
+		-shards $(BENCH_SERVER_SHARDS) -batch $(BENCH_SERVER_BATCH) \
 		-duration $(BENCH_SERVER_DURATION) -keys $(BENCH_SERVER_KEYS) \
 		-out $(BENCH_SERVER_OUT) -note "$(BENCH_NOTE)"; \
 	kill -TERM $$pid; wait $$pid
 
 # server-smoke is the CI guard for the networked path: start ekbtreed on a
-# temp dir, push a short load through every mix, then SIGTERM and require a
-# clean drain exit.
+# temp dir, push a short load through every mix (including batched ingest),
+# then SIGTERM and require a clean drain exit. SERVER_SMOKE_SHARDS=3 runs
+# the same smoke against a range-sharded tenant.
+SERVER_SMOKE_SHARDS ?= 1
 server-smoke: binaries
 	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
 	master=$$(printf 'b%.0s' $$(seq 64)); \
 	./bin/ekbtreed -data "$$dir/data" -provision smoke -master-hex "$$master"; \
-	./bin/ekbtreed -data "$$dir/data" -addr 127.0.0.1:0 -addr-file "$$dir/addr" & pid=$$!; \
+	./bin/ekbtreed -data "$$dir/data" -addr 127.0.0.1:0 -addr-file "$$dir/addr" \
+		-shards $(SERVER_SMOKE_SHARDS) & pid=$$!; \
 	for i in $$(seq 50); do [ -s "$$dir/addr" ] && break; sleep 0.1; done; \
 	./bin/ekbtree-bench -addr "$$(cat $$dir/addr)" -tenant smoke -master-hex "$$master" \
-		-mixes zipfian,uniform,scan -conns 2 -duration 300ms -keys 500 \
+		-mixes zipfian,uniform,scan,ingest -conns 2 -duration 300ms -keys 500 \
+		-shards $(SERVER_SMOKE_SHARDS) \
 		-out "$$dir/bench.json" -note smoke; \
 	kill -TERM $$pid; wait $$pid; \
-	echo "server-smoke: clean drain exit"
+	echo "server-smoke: clean drain exit (shards=$(SERVER_SMOKE_SHARDS))"
 
 # fuzz-smoke runs each fuzz target briefly (the checked-in seed corpora under
 # internal/*/testdata/fuzz always run as plain tests; this actually mutates).

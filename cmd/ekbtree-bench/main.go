@@ -40,19 +40,25 @@ type benchConfig struct {
 	scanLen   int
 	duration  time.Duration
 	putFrac   float64
+	seed      int64
+	shards    int
+	batchSize int
 }
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:4617", "ekbtreed address")
 	tenant := flag.String("tenant", "bench", "tenant namespace to drive")
 	masterHex := flag.String("master-hex", "", "hex-encoded master key (>= 32 hex chars); auth and index keys derive from it")
-	mixes := flag.String("mixes", "zipfian,uniform,scan", "comma-separated workload mixes: zipfian, uniform, scan")
+	mixes := flag.String("mixes", "zipfian,uniform,scan", "comma-separated workload mixes: zipfian, uniform, scan, ingest")
 	connsList := flag.String("conns", "1,4,16", "comma-separated client concurrency levels")
 	duration := flag.Duration("duration", 5*time.Second, "measured run length per mix/concurrency point")
 	keys := flag.Int("keys", 10000, "keyspace size (preloaded before measuring)")
 	valueSize := flag.Int("value-size", 128, "value size in bytes")
 	scanLen := flag.Int("scan-len", 50, "entries streamed per scan operation")
 	putFrac := flag.Float64("put-frac", 0.2, "fraction of writes in the zipfian/uniform mixes")
+	seed := flag.Int64("seed", 1, "base RNG seed; workers derive disjoint deterministic streams from it")
+	shards := flag.Int("shards", 0, "the server's -shards value, recorded per result so shard sweeps are comparable (0 = not recorded)")
+	batchSize := flag.Int("batch", 64, "fresh keys per BatchCommit in the ingest mix")
 	out := flag.String("out", "BENCH_server.json", "output report path")
 	note := flag.String("note", "", "commit_note for the report")
 	flag.Parse()
@@ -75,6 +81,12 @@ func main() {
 		scanLen:   *scanLen,
 		duration:  *duration,
 		putFrac:   *putFrac,
+		seed:      *seed,
+		shards:    *shards,
+		batchSize: *batchSize,
+	}
+	if cfg.batchSize < 1 {
+		fatalf("-batch must be >= 1")
 	}
 
 	var levels []int
@@ -101,8 +113,8 @@ func main() {
 		Goarch:     runtime.GOARCH,
 		CPU:        fmt.Sprintf("GOMAXPROCS=%d", runtime.GOMAXPROCS(0)),
 		Command:    strings.Join(os.Args, " "),
-		Notes: fmt.Sprintf("live ekbtreed load: %d-key space, %dB values, scan-len %d, put-frac %.2f, %s per point; latency measured per synchronous wire op",
-			cfg.keys, cfg.valueSize, cfg.scanLen, cfg.putFrac, cfg.duration),
+		Notes: fmt.Sprintf("live ekbtreed load: %d-key space, %dB values, scan-len %d, put-frac %.2f, seed %d, %s per point; latency measured per synchronous wire op (one ingest op = one %d-key BatchCommit)",
+			cfg.keys, cfg.valueSize, cfg.scanLen, cfg.putFrac, cfg.seed, cfg.duration, cfg.batchSize),
 	}
 
 	for _, mix := range mixNames {
@@ -212,14 +224,15 @@ func runPoint(cfg benchConfig, mix string, conns int) (schema.Result, error) {
 		wg.Add(1)
 		go func(w int, c *wire.Client) {
 			defer wg.Done()
-			// Deterministic per-worker seed: runs are repeatable and workers
-			// never share a stream.
-			rng := rand.New(rand.NewSource(int64(0x9E3779B9*uint32(w)) + 1))
+			// Deterministic per-worker stream derived from -seed: runs with
+			// the same seed are repeatable and workers never share a stream.
+			rng := rand.New(rand.NewSource(cfg.seed + int64(0x9E3779B9)*int64(w+1)))
 			zipf := rand.NewZipf(rng, 1.1, 1, uint64(cfg.keys-1))
+			ing := &ingestState{worker: w}
 			local := make([]int64, 0, 1<<14)
 			for time.Now().Before(deadline) {
 				t0 := time.Now()
-				err := oneOp(cfg, mix, c, rng, zipf)
+				err := oneOp(cfg, mix, c, rng, zipf, ing)
 				lat := time.Since(t0).Nanoseconds()
 				if err != nil {
 					mu.Lock()
@@ -256,6 +269,7 @@ func runPoint(cfg benchConfig, mix string, conns int) (schema.Result, error) {
 		Name:      fmt.Sprintf("ServerLoad/mix=%s/conns=%d", mix, conns),
 		Mix:       mix,
 		Conns:     conns,
+		Shards:    cfg.shards,
 		Iters:     n,
 		NsPerOp:   float64(sum) / float64(n),
 		OpsPerSec: float64(n) / elapsed.Seconds(),
@@ -265,10 +279,26 @@ func runPoint(cfg benchConfig, mix string, conns int) (schema.Result, error) {
 	}, nil
 }
 
+// ingestState numbers one worker's ingest batches so every committed key is
+// fresh: worker w's batch b writes keys ingest-w<w>-<b*batch>..<b*batch+batch-1>.
+type ingestState struct {
+	worker int
+	next   int
+}
+
 // oneOp issues a single operation of the given mix. A scan counts the whole
-// cursor-open/stream/close sequence as one operation.
-func oneOp(cfg benchConfig, mix string, c *wire.Client, rng *rand.Rand, zipf *rand.Zipf) error {
+// cursor-open/stream/close sequence as one operation; an ingest op is one
+// BatchCommit of cfg.batchSize fresh keys.
+func oneOp(cfg benchConfig, mix string, c *wire.Client, rng *rand.Rand, zipf *rand.Zipf, ing *ingestState) error {
 	switch mix {
+	case "ingest":
+		ops := make([]wire.BatchOp, cfg.batchSize)
+		for j := range ops {
+			k := []byte(fmt.Sprintf("ingest-w%03d-%010d", ing.worker, ing.next))
+			ing.next++
+			ops[j] = wire.BatchOp{Key: k, Value: benchValue(cfg, ing.next)}
+		}
+		return c.BatchCommit(ops)
 	case "zipfian", "uniform":
 		var i int
 		if mix == "zipfian" {
@@ -301,7 +331,7 @@ func oneOp(cfg benchConfig, mix string, c *wire.Client, rng *rand.Rand, zipf *ra
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown mix %q (want zipfian, uniform, or scan)", mix)
+		return fmt.Errorf("unknown mix %q (want zipfian, uniform, scan, or ingest)", mix)
 	}
 }
 

@@ -404,6 +404,8 @@ func encodeEngineErr(err error) []byte {
 	switch {
 	case errors.Is(err, ekbtree.ErrTooLarge):
 		return wire.EncodeErr(wire.CodeTooLarge, err.Error())
+	case errors.Is(err, ekbtree.ErrSnapshotTooOld):
+		return wire.EncodeErr(wire.CodeSnapshotTooOld, err.Error())
 	case errors.Is(err, ekbtree.ErrClosed):
 		return wire.EncodeErr(wire.CodeDraining, "tree is closed (server draining)")
 	default:

@@ -42,6 +42,8 @@ func main() {
 		tenantsPath  = flag.String("tenants", "", "tenants config file (default <data>/tenants.json)")
 		durability   = flag.String("durability", "grouped", "commit durability: full, grouped, or async")
 		groupWindow  = flag.Duration("group-window", 0, "grouped-durability flush window (0 = store default)")
+		shards       = flag.Int("shards", 1, "range-shard every tenant tree across N engines (sealed into the tenant's files on first open)")
+		maxEpochAge  = flag.Int("max-epoch-age", 0, "fail cursors whose snapshot fell more than N commits behind (0 = unbounded)")
 		maxConns     = flag.Int("max-conns", 1024, "maximum concurrent connections (0 = unlimited)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "how long a drain waits for in-flight work")
 		provision    = flag.String("provision", "", "provision tenant NAME into -tenants and exit")
@@ -66,7 +68,13 @@ func main() {
 		return
 	}
 
-	cfg := treeConfig{groupWindow: *groupWindow}
+	if *shards < 1 {
+		log.Fatalf("-shards %d must be >= 1", *shards)
+	}
+	if *maxEpochAge < 0 {
+		log.Fatalf("-max-epoch-age %d must be >= 0", *maxEpochAge)
+	}
+	cfg := treeConfig{groupWindow: *groupWindow, shards: *shards, maxEpochAge: *maxEpochAge}
 	switch *durability {
 	case "full":
 		cfg.durability = ekbtree.DurabilityFull
@@ -90,7 +98,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on %s (%d tenant(s), durability=%s)", ln.Addr(), len(reg.tenants), *durability)
+	log.Printf("listening on %s (%d tenant(s), durability=%s, shards=%d)", ln.Addr(), len(reg.tenants), *durability, *shards)
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
 			log.Fatal(err)

@@ -27,6 +27,13 @@ type testServer struct {
 // server on a loopback port, and registers a drain as cleanup.
 func startTestServer(t *testing.T, masters map[string][]byte, mut ...func(*serverConfig)) *testServer {
 	t.Helper()
+	return startTestServerTree(t, masters, treeConfig{durability: ekbtree.DurabilityGrouped}, mut...)
+}
+
+// startTestServerTree is startTestServer with an explicit tree configuration
+// (shards, epoch-age bound, durability).
+func startTestServerTree(t *testing.T, masters map[string][]byte, tcfg treeConfig, mut ...func(*serverConfig)) *testServer {
+	t.Helper()
 	dataDir := t.TempDir()
 	tenantsPath := filepath.Join(dataDir, "tenants.json")
 	for name, master := range masters {
@@ -34,7 +41,7 @@ func startTestServer(t *testing.T, masters map[string][]byte, mut ...func(*serve
 			t.Fatal(err)
 		}
 	}
-	reg, err := loadRegistry(tenantsPath, dataDir, treeConfig{durability: ekbtree.DurabilityGrouped})
+	reg, err := loadRegistry(tenantsPath, dataDir, tcfg)
 	if err != nil {
 		t.Fatal(err)
 	}

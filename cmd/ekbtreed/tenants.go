@@ -34,6 +34,14 @@ type tenantsFile struct {
 type treeConfig struct {
 	durability  ekbtree.Durability
 	groupWindow time.Duration
+	// shards range-partitions every tenant tree across this many engines
+	// (page files <tenant>.ekbt.shard<i>); 0 or 1 keeps the single-file
+	// layout. The count is sealed into each tenant's files on first open.
+	shards int
+	// maxEpochAge bounds how many commits a connection's open cursors may
+	// fall behind before their next read fails with CodeSnapshotTooOld;
+	// 0 = unbounded.
+	maxEpochAge int
 }
 
 // tenant is one provisioned namespace: its derived material and its lazily
@@ -55,8 +63,10 @@ func (t *tenant) openTree(dir string, cfg treeConfig) (*ekbtree.Tree, error) {
 		return t.tree, nil
 	}
 	base := ekbtree.Options{
-		Path:       filepath.Join(dir, t.name+".ekbt"),
-		Durability: cfg.durability,
+		Path:        filepath.Join(dir, t.name+".ekbt"),
+		Durability:  cfg.durability,
+		Shards:      cfg.shards,
+		MaxEpochAge: cfg.maxEpochAge,
 	}
 	if cfg.durability == ekbtree.DurabilityGrouped {
 		base.GroupWindow = cfg.groupWindow

@@ -1,20 +1,26 @@
 package ekbtree
 
-import "github.com/paper-repro/ekbtree/internal/btree"
+import (
+	"errors"
+	"sync"
+
+	"github.com/paper-repro/ekbtree/internal/btree"
+)
 
 // Batch stages a sequence of writes and applies them in one atomic-looking
-// step. During Commit the engine enters a staged write mode: every mutated
-// B-tree page is kept decoded in memory and encoded+sealed exactly once when
-// the batch flushes, instead of once per operation. For workloads that touch
-// the same pages repeatedly — bulk loads, sorted ingest, delete sweeps —
-// this removes the dominant per-operation cost (AES-GCM sealing and page
-// encoding; see BENCH_btree.json).
+// step per shard. During Commit the engine enters a staged write mode: every
+// mutated B-tree page is kept decoded in memory and encoded+sealed exactly
+// once when the batch flushes, instead of once per operation. For workloads
+// that touch the same pages repeatedly — bulk loads, sorted ingest, delete
+// sweeps — this removes the dominant per-operation cost (AES-GCM sealing and
+// page encoding; see BENCH_btree.json).
 //
 // Operations are applied in the order they were staged, so a later Put or
-// Delete of the same key wins. Staging (Put/Delete) does not touch the tree
-// and never blocks; only Commit enters the tree's optimistic commit pipeline,
-// where it may run concurrently with other committing batches and single
-// mutations. A Batch is not safe for concurrent use by multiple goroutines.
+// Delete of the same key wins. Staging (Put/Delete) routes each operation to
+// its owning shard but does not touch the tree and never blocks; only Commit
+// enters the shards' optimistic commit pipelines, where it may run
+// concurrently with other committing batches and single mutations. A Batch
+// is not safe for concurrent use by multiple goroutines.
 //
 // After Commit or Discard the batch is spent: further calls return ErrClosed.
 type Batch struct {
@@ -26,6 +32,7 @@ type Batch struct {
 type batchOp struct {
 	sk    []byte // substituted key
 	value []byte // nil for deletes
+	shard int    // owning shard, routed at staging time
 	del   bool
 }
 
@@ -47,7 +54,7 @@ func (b *Batch) Put(key, value []byte) error {
 	if err := checkValueSize(value); err != nil {
 		return err
 	}
-	b.ops = append(b.ops, batchOp{sk: sk, value: append([]byte(nil), value...)})
+	b.ops = append(b.ops, batchOp{sk: sk, value: append([]byte(nil), value...), shard: b.t.router.Route(sk)})
 	return nil
 }
 
@@ -60,7 +67,7 @@ func (b *Batch) Delete(key []byte) error {
 	if err != nil {
 		return err
 	}
-	b.ops = append(b.ops, batchOp{sk: sk, del: true})
+	b.ops = append(b.ops, batchOp{sk: sk, del: true, shard: b.t.router.Route(sk)})
 	return nil
 }
 
@@ -69,40 +76,49 @@ func (b *Batch) Len() int {
 	return len(b.ops)
 }
 
-// Commit applies all staged operations as one optimistic transaction,
-// sealing each touched page once, and publishes the result as ONE new epoch:
-// a concurrent reader or cursor either observes the tree from before the
-// batch or after all of it, never a half-applied state. Readers are not
-// blocked while Commit runs — they keep reading the previous epoch until the
-// flip — and neither are other writers: concurrent Commits validate their
-// page-level read-sets against each other and only a genuine overlap forces
-// one of them to re-run. Such conflicts are resolved INSIDE Commit: the
-// losing transaction discards its private clones and re-applies its staged
-// operations against the new tree tip (with bounded backoff, escalating to
-// an exclusive pass after repeated conflicts, so even a large batch racing a
-// storm of small puts commits within a bounded number of re-executions). No
-// conflict error ever reaches the caller, and because each re-execution
-// replays the same staged operations on fresh state, retried commits are
-// exactly as atomic and ordered as first-try ones. The batch is spent either
-// way.
+// Commit applies all staged operations, one optimistic transaction PER SHARD
+// the batch touches, sealing each touched page once and publishing each
+// shard's slice as ONE new epoch on that shard. Within a shard the batch
+// keeps the full single-tree guarantee: a concurrent reader or cursor either
+// observes that shard from before the batch or after all of its slice, never
+// a half-applied state. ACROSS shards the batch is NOT atomic — the
+// per-shard commits run in parallel (each down its own committer and fsync
+// stream; that parallelism is where sharded ingest throughput comes from),
+// so a reader may observe one shard's slice before another's lands, and an
+// error on one shard does not roll back the slices that already committed.
+// Operations for the same shard preserve their staging order, so a later Put
+// or Delete of the same key still wins. On an unsharded tree (Shards = 1)
+// Commit is exactly the old single-epoch atomic batch.
 //
-// Commit is atomic. If it fails while applying operations (before the
-// flush), nothing has reached the store and the tree is unchanged. The flush
-// itself hands every sealed page, the new root, and the freed page IDs to
-// the store's CommitPages hook in one call: the in-memory store applies it
-// under a single lock, and the file-backed store enqueues it on the
-// group-commit pipeline — the whole batch lands in one coalesced
-// shadow-paged flush, so a crash or I/O error at any point leaves the store
-// at exactly the pre- or post-commit state, never torn. What a successful
-// Commit means for durability follows the tree's Options.Durability: under
-// DurabilityFull the batch is on disk when Commit returns; under
-// DurabilityGrouped or DurabilityAsync it is applied and queued, and
-// Tree.Sync (or Close) is the durability barrier. A failed Commit may be
-// retried: either nothing was applied, or the error arrived after the
-// commit point and the retry's writes are idempotent re-puts of the same
-// operations. The one exception is a file-backed store whose flush failed
-// (durability indeterminate): it fails stop — further commits return an
-// error and reopening the store recovers the last durable state.
+// Readers are not blocked while Commit runs — they keep reading each shard's
+// previous epoch until that shard's flip — and neither are other writers:
+// concurrent Commits validate their page-level read-sets against each other
+// and only a genuine overlap forces one of them to re-run. Such conflicts
+// are resolved INSIDE Commit: the losing transaction discards its private
+// clones and re-applies its staged operations against the new shard tip
+// (with bounded backoff, escalating to an exclusive pass after repeated
+// conflicts, so even a large batch racing a storm of small puts commits
+// within a bounded number of re-executions). No conflict error ever reaches
+// the caller, and because each re-execution replays the same staged
+// operations on fresh state, retried commits are exactly as atomic and
+// ordered as first-try ones. The batch is spent either way.
+//
+// Each per-shard flush hands every sealed page, the shard's new root, and
+// the freed page IDs to that store's CommitPages hook in one call: the
+// in-memory store applies it under a single lock, and the file-backed store
+// enqueues it on the group-commit pipeline — the slice lands in one
+// coalesced shadow-paged flush, so a crash or I/O error at any point leaves
+// each shard at exactly its pre- or post-commit state, never torn. What a
+// successful Commit means for durability follows the tree's
+// Options.Durability: under DurabilityFull every slice is on disk when
+// Commit returns; under DurabilityGrouped or DurabilityAsync the slices are
+// applied and queued, and Tree.Sync (or Close) is the durability barrier. A
+// failed Commit may be retried: on every shard either nothing was applied,
+// or the error arrived after that shard's commit point and the retry's
+// writes are idempotent re-puts of the same operations. The one exception is
+// a file-backed store whose flush failed (durability indeterminate): that
+// shard fails stop — further commits against it return an error and
+// reopening the store recovers its last durable state.
 func (b *Batch) Commit() error {
 	if b.done {
 		return ErrClosed
@@ -110,11 +126,45 @@ func (b *Batch) Commit() error {
 	b.done = true
 	ops := b.ops
 	b.ops = nil
-	// The closure may run more than once (conflict retries re-execute it on a
-	// fresh transaction); ops is immutable from here, so every execution
-	// replays the identical sequence.
-	return b.t.applyCommit(func(bt *btree.Tree) error {
-		for _, op := range ops {
+	if len(ops) == 0 {
+		return nil
+	}
+	// Partition the staged sequence by owning shard, preserving order within
+	// each shard. The common cases stay allocation-light: a batch that only
+	// touches one shard (every unsharded tree, and most range-local sharded
+	// batches) commits directly on the caller's goroutine.
+	perShard := make(map[int][]batchOp, 1)
+	for _, op := range ops {
+		perShard[op.shard] = append(perShard[op.shard], op)
+	}
+	if len(perShard) == 1 {
+		for shard, slice := range perShard {
+			return b.commitShard(shard, slice)
+		}
+	}
+	// Fan out: one OCC commit per shard, in parallel. Shards are fully
+	// independent engines, so the commits share no locks and their store
+	// flushes overlap.
+	errs := make([]error, len(b.t.shards))
+	var wg sync.WaitGroup
+	for shard, slice := range perShard {
+		wg.Add(1)
+		go func(shard int, slice []batchOp) {
+			defer wg.Done()
+			errs[shard] = b.commitShard(shard, slice)
+		}(shard, slice)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// commitShard runs one shard's slice of the batch through that shard's
+// optimistic commit pipeline. The closure may run more than once (conflict
+// retries re-execute it on a fresh transaction); the slice is immutable from
+// here, so every execution replays the identical sequence.
+func (b *Batch) commitShard(shard int, slice []batchOp) error {
+	return b.t.shards[shard].Apply(func(bt *btree.Tree) error {
+		for _, op := range slice {
 			var err error
 			if op.del {
 				_, err = bt.Delete(op.sk)

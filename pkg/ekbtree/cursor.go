@@ -3,24 +3,35 @@ package ekbtree
 import (
 	"bytes"
 
-	"github.com/paper-repro/ekbtree/internal/btree"
 	"github.com/paper-repro/ekbtree/internal/keysub"
+	"github.com/paper-repro/ekbtree/pkg/ekbtree/engine"
 )
 
 // Cursor iterates a point-in-time snapshot of the tree in ascending
 // substituted-key order.
 //
-// A cursor pins the tree's current epoch when it is created and reads that
-// version, lock-free, for its whole life: concurrent Puts, Deletes, and batch
-// commits neither block the cursor nor become visible to it, and the cursor
-// never observes a partially-applied batch. Internally it keeps the
-// root-to-leaf path to its position, so advancing is O(1) amortized — no
-// re-descent, no per-batch snapshot copying.
+// A cursor pins the current epoch of every shard its range touches when it
+// is created and reads those versions, lock-free, for its whole life:
+// concurrent Puts, Deletes, and batch commits neither block the cursor nor
+// become visible to it, and the cursor never observes a partially-applied
+// single-shard commit. Internally each shard iterator keeps the root-to-leaf
+// path to its position and the cursor merges them smallest-key-first, so
+// advancing is O(shards) with no re-descent and no per-batch snapshot
+// copying. On an unsharded tree (Shards = 1, the default) this is the same
+// single-iterator cursor as ever.
 //
-// Close releases the pin. An open cursor holds its snapshot's superseded
+// For a sharded tree the snapshot is taken per shard, one pin after another:
+// each shard's view is internally consistent, but a commit racing cursor
+// creation may land on shard A after A was pinned yet on shard B before B
+// was — the cross-shard cut is not a single global instant (the same
+// per-shard contract as Batch.Commit).
+//
+// Close releases the pins. An open cursor holds its snapshots' superseded
 // pages in memory, so long-lived cursors over a write-heavy tree cost memory
 // proportional to the writes since the cursor was opened — close cursors
-// promptly.
+// promptly. Options.MaxEpochAge turns that advice into a hard bound:
+// positioning calls on a cursor whose snapshot has fallen more than that
+// many commits behind fail with ErrSnapshotTooOld.
 //
 // Key and Value return zero-copy READ-ONLY views into the snapshot's nodes:
 // they remain valid until Close but must never be mutated (the bytes are
@@ -41,8 +52,16 @@ type Cursor struct {
 	t      *Tree
 	lo, hi []byte // substituted bounds: lo inclusive, hi exclusive; nil = unbounded
 
-	e      *epoch // pinned snapshot; nil if the tree was closed at creation
-	it     *btree.Iter
+	// One pinned snapshot + iterator per shard the range covers, in shard
+	// (ascending substituted-key) order. Empty if the tree was closed at
+	// creation: every positioning call then reports ErrClosed.
+	snaps []*engine.Snapshot
+	iters []*engine.Iter
+	// Per-iterator buffered head entry; hk[i] == nil means iterator i is
+	// exhausted (or dead). The current cursor position is the minimum head.
+	hk, hv [][]byte
+	cur    int // index of the iterator supplying the current entry
+
 	k, v   []byte
 	valid  bool
 	err    error
@@ -62,7 +81,8 @@ func (t *Tree) Cursor() *Cursor {
 // bucketed one) they expand to whole boundary buckets, so the cursor visits a
 // superset of the plaintext range; with a pure-PRF substituter they are
 // substituted pointwise and the range bears no relation to plaintext order.
-// A nil bound is unbounded on that side.
+// A nil bound is unbounded on that side. Only the shards whose key ranges
+// intersect the bounds are pinned.
 func (t *Tree) CursorRange(fromKey, toKey []byte) *Cursor {
 	lo, hi := t.substituteBounds(fromKey, toKey)
 	return t.newCursor(lo, hi)
@@ -70,14 +90,23 @@ func (t *Tree) CursorRange(fromKey, toKey []byte) *Cursor {
 
 func (t *Tree) newCursor(lo, hi []byte) *Cursor {
 	c := &Cursor{t: t, lo: lo, hi: hi}
-	e, err := t.es.pin()
-	if err != nil {
-		// Tree already closed: the cursor exists but every positioning call
-		// will report ErrClosed.
-		return c
+	s0, s1 := t.router.RouteRange(lo, hi)
+	for i := s0; i <= s1; i++ {
+		snap, err := t.shards[i].Snapshot()
+		if err != nil {
+			// Tree already closed: drop the pins taken so far and leave the
+			// cursor snapshot-less.
+			for _, s := range c.snaps {
+				s.Close()
+			}
+			c.snaps, c.iters = nil, nil
+			return c
+		}
+		c.snaps = append(c.snaps, snap)
+		c.iters = append(c.iters, snap.Iter(hi))
 	}
-	c.e = e
-	c.it = btree.NewIter(epochReader{io: t.io, e: e}, e.root, hi)
+	c.hk = make([][]byte, len(c.iters))
+	c.hv = make([][]byte, len(c.iters))
 	return c
 }
 
@@ -120,14 +149,19 @@ func (c *Cursor) Seek(key []byte) bool {
 	return c.seek(from)
 }
 
-// seek repositions the iterator at from and advances to the first entry.
+// seek repositions every shard iterator at from and advances to the smallest
+// entry across shards.
 func (c *Cursor) seek(from []byte) bool {
 	c.valid, c.k, c.v = false, nil, nil
 	if !c.usable() {
 		return false
 	}
-	c.it.Seek(from)
-	return c.advance()
+	c.err = nil
+	for i, it := range c.iters {
+		it.Seek(from)
+		c.refill(i)
+	}
+	return c.pickMin()
 }
 
 // Next advances to the following entry, reporting whether one exists.
@@ -139,31 +173,64 @@ func (c *Cursor) Next() bool {
 	if !c.usable() {
 		return false
 	}
-	return c.advance()
+	c.refill(c.cur)
+	return c.pickMin()
 }
 
-// usable checks the closed states, recording ErrClosed as appropriate.
+// usable checks the closed states and the snapshot-age bound, recording the
+// appropriate sentinel error.
 func (c *Cursor) usable() bool {
-	if c.closed || c.e == nil || c.t.es.isClosed() {
+	if c.closed || len(c.snaps) == 0 || c.t.closed() {
 		c.err = ErrClosed
 		return false
+	}
+	if max := c.t.maxEpochAge; max > 0 {
+		for _, s := range c.snaps {
+			if s.Age() > max {
+				c.err = ErrSnapshotTooOld
+				return false
+			}
+		}
 	}
 	return true
 }
 
-// advance pulls the next entry from the iterator into the cursor position.
-func (c *Cursor) advance() bool {
-	k, v, ok := c.it.Next()
+// refill pulls iterator i's next entry into its head slot, recording nil on
+// exhaustion and capturing any iterator error.
+func (c *Cursor) refill(i int) {
+	k, v, ok := c.iters[i].Next()
 	if !ok {
-		if err := c.it.Err(); err != nil {
-			c.err = mapErr(err)
-		} else {
-			c.err = nil
+		c.hk[i], c.hv[i] = nil, nil
+		if err := c.iters[i].Err(); err != nil {
+			c.err = err
 		}
+		return
+	}
+	c.hk[i], c.hv[i] = k, v
+}
+
+// pickMin makes the smallest buffered head the current entry. With the
+// order-preserving router the live iterator is almost always the same one
+// until its shard drains, but the linear scan keeps the cursor correct for
+// ANY router and costs O(shards) per step.
+func (c *Cursor) pickMin() bool {
+	if c.err != nil {
 		return false
 	}
-	c.err = nil
-	c.k, c.v, c.valid = k, v, true
+	min := -1
+	for i, k := range c.hk {
+		if k == nil {
+			continue
+		}
+		if min < 0 || bytes.Compare(k, c.hk[min]) < 0 {
+			min = i
+		}
+	}
+	if min < 0 {
+		return false
+	}
+	c.cur = min
+	c.k, c.v, c.valid = c.hk[min], c.hv[min], true
 	return true
 }
 
@@ -194,7 +261,7 @@ func (c *Cursor) Err() error {
 	return c.err
 }
 
-// Close releases the cursor's snapshot pin, allowing the engine to reclaim
+// Close releases the cursor's snapshot pins, allowing the engines to reclaim
 // superseded pages. Subsequent positioning calls fail with ErrClosed. Close
 // is idempotent and never fails; it returns an error only to satisfy the
 // common io.Closer-style calling pattern.
@@ -203,10 +270,10 @@ func (c *Cursor) Close() error {
 		return nil
 	}
 	c.closed = true
-	if c.e != nil {
-		c.t.es.release(c.e)
-		c.e = nil
+	for _, s := range c.snaps {
+		s.Close()
 	}
-	c.it, c.k, c.v, c.valid = nil, nil, nil, false
+	c.snaps, c.iters, c.hk, c.hv = nil, nil, nil, nil
+	c.k, c.v, c.valid = nil, nil, false
 	return nil
 }

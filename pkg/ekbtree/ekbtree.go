@@ -2,14 +2,17 @@
 // reproducing the architecture of Hardjono & Seberry, "Search Key
 // Substitution in the Encipherment of B-Trees" (VLDB 1990).
 //
-// The engine is five layers; plaintext search keys exist only above the
-// façade:
+// The system is layered; plaintext search keys exist only above the façade:
 //
 //	caller ── plaintext key, value
 //	   │
-//	pkg/ekbtree        façade: substitute keys, epoch snapshots, cache nodes
+//	pkg/ekbtree        façade: substitute keys, route to shards, merge cursors
 //	   │
 //	internal/keysub    key substitution (HMAC PRF / bucketed order-preserving)
+//	   │               + ShardRouter: substituted-key range → shard index
+//	   │
+//	pkg/ekbtree/engine single-shard core: epoch snapshots, OCC commit
+//	   │               pipeline, decoded-node cache — one engine per shard
 //	   │
 //	internal/btree     B-tree over substituted keys only
 //	   │
@@ -18,6 +21,24 @@
 //	internal/cipher    page encipherment (AES-GCM)
 //	   │
 //	internal/store     page store: sealed pages only
+//
+// # Sharding
+//
+// With Options.Shards = N > 1 the façade range-partitions the SUBSTITUTED
+// key space across N fully independent engines, each over its own page file
+// (one committer and one fsync stream per shard). Routing happens after
+// substitution, so plaintext never crosses the shard boundary, and because
+// the bucketed substituter is order-preserving the partition is too: range
+// scans touch only the shards their bucket interval spans, and the merged
+// Cursor yields one globally ordered stream. Put/Get/Delete route to exactly
+// one shard and keep their single-tree semantics. Batch.Commit fans out as
+// one OCC commit PER SHARD, running in parallel: each shard's slice of the
+// batch is atomic and publishes as one epoch on that shard, but the batch is
+// NOT atomic across shards — a reader may observe shard A's slice before
+// shard B's lands, and an error on one shard does not roll back the others.
+// Each shard's header seals the (index, total) shard layout, so reopening
+// with a different Shards value fails closed with ErrConfigMismatch.
+// Shards=1 (the default) produces byte-identical files to previous versions.
 //
 // # Byte-slice ownership
 //
@@ -35,15 +56,15 @@
 //
 // Façade methods return nil or an error matching one of the package's
 // sentinel errors (ErrClosed, ErrTooLarge, ErrWrongKey, ErrConfigMismatch,
-// ErrCorrupt, ErrInvalidOptions) under errors.Is.
+// ErrCorrupt, ErrInvalidOptions, ErrSnapshotTooOld) under errors.Is.
 package ekbtree
 
 import (
 	"crypto/hmac"
 	"crypto/sha256"
+	"errors"
 	"fmt"
-	"sync"
-	"sync/atomic"
+	"os"
 	"time"
 
 	"github.com/paper-repro/ekbtree/internal/btree"
@@ -52,12 +73,19 @@ import (
 	"github.com/paper-repro/ekbtree/internal/node"
 	"github.com/paper-repro/ekbtree/internal/store"
 	"github.com/paper-repro/ekbtree/internal/store/file"
+	"github.com/paper-repro/ekbtree/pkg/ekbtree/engine"
 )
 
 // newDefaultStore builds the store used when Options specify neither Store
-// nor Path. The test suite repoints it to run the entire façade suite over
-// other backends (see TestMain).
+// nor Path (one per shard). The test suite repoints it to run the entire
+// façade suite over other backends (see TestMain).
 var newDefaultStore = func() (store.PageStore, error) { return store.NewMem(), nil }
+
+// testDefaultShards is the shard count used when Options.Shards is zero and
+// no caller-provided Store forces a single shard. It is 1 (the documented
+// default) except under the test suite's EKBTREE_SHARDS override, which
+// repoints it to run the whole façade suite sharded (see TestMain).
+var testDefaultShards = 1
 
 // DefaultOrder is the default B-tree order (maximum children per node).
 const DefaultOrder = 32
@@ -100,7 +128,8 @@ type Options struct {
 	Cipher cipher.NodeCipher
 	// Store is the backing page store. Nil means Path's file-backed store
 	// when Path is set, otherwise a fresh in-memory store. Setting both
-	// Store and Path is invalid.
+	// Store and Path is invalid, as is combining Store with Shards > 1 (a
+	// single caller-provided store cannot back multiple shards).
 	Store store.PageStore
 	// Path opens (or creates) a crash-safe file-backed store at this path.
 	// Every commit — batch or single mutation — is shadow-paged and flushed
@@ -109,11 +138,13 @@ type Options struct {
 	// produced. Reopening requires the keys and configuration the file was
 	// written with, exactly as for any persistent store. On unix platforms
 	// the file is locked for exclusive use; a second open of the same path
-	// fails with ErrLocked.
+	// fails with ErrLocked. With Shards = N > 1, shard i's page file is
+	// Path+".shard<i>" and Path itself is not created.
 	Path string
 	// Durability selects what commits against Path wait for; see the
 	// Durability constants. The zero value is DurabilityFull. Setting it
-	// without Path is invalid.
+	// without Path is invalid. With multiple shards every shard store gets
+	// its own group-commit pipeline in this mode.
 	Durability Durability
 	// GroupWindow bounds how long a DurabilityGrouped commit may sit
 	// unflushed; zero means the store default (2ms). Setting it with any
@@ -126,71 +157,103 @@ type Options struct {
 	// the overlay or forcing an early mid-window flush. Because one full
 	// group can be mid-flush while the next fills, total unflushed memory
 	// can reach roughly twice this bound. Zero means the store default
-	// (4MB); negative, or setting it without Path, is invalid.
+	// (4MB); negative, or setting it without Path, is invalid. The bound is
+	// per shard store.
 	MaxUnflushed int
 	// CachePages caps the decoded-node cache that serves repeated reads and
-	// batch staging. Zero means DefaultCachePages; negative disables the
-	// cache entirely (every access re-reads, deciphers, and decodes).
+	// batch staging, PER SHARD. Zero means DefaultCachePages; negative
+	// disables the cache entirely (every access re-reads, deciphers, and
+	// decodes).
 	CachePages int
+	// Shards range-partitions the substituted key space across this many
+	// independent single-shard engines; see the package's Sharding section.
+	// Zero or 1 means one shard (fully backward compatible — existing files
+	// open unchanged). The shard layout is sealed into every shard's header:
+	// reopening with a different count fails with ErrConfigMismatch.
+	// Negative, or > 1 combined with Store, is invalid.
+	Shards int
+	// MaxEpochAge bounds how many commits may publish after a Cursor pins
+	// its snapshot before the cursor's positioning calls (First, Seek, Next)
+	// fail with ErrSnapshotTooOld. An open cursor holds every pre-image
+	// superseded since its pin, so without a bound a hostile or forgotten
+	// long-lived cursor grows memory in proportion to write traffic; the cap
+	// converts that into a typed, retryable error. With multiple shards the
+	// bound applies per shard snapshot. Zero means unbounded; negative is
+	// invalid.
+	MaxEpochAge int
 }
 
-// validate checks opts and resolves every layer, returning the effective
-// order, substituter, cipher, store, and cache size. All validation of an
-// Options value is consolidated here; errors wrap ErrInvalidOptions.
-func (o Options) validate() (order int, sub keysub.Substituter, nc cipher.NodeCipher, st store.PageStore, cachePages int, err error) {
+// DefaultCachePages re-exports the engine's default decoded-node cache size.
+const DefaultCachePages = engine.DefaultCachePages
+
+// CacheStats describes decoded-node cache traffic; see engine.CacheStats.
+type CacheStats = engine.CacheStats
+
+// validate checks opts and resolves the non-store layers, returning the
+// effective order, substituter, cipher, cache size, and shard count. All
+// validation of an Options value is consolidated here; errors wrap
+// ErrInvalidOptions. Stores are resolved per shard in Open.
+func (o Options) validate() (order int, sub keysub.Substituter, nc cipher.NodeCipher, cachePages, shards int, err error) {
 	order = o.Order
 	if order == 0 {
 		order = DefaultOrder
 	}
 	if order < 4 || order%2 != 0 {
-		return 0, nil, nil, nil, 0, fmt.Errorf("%w: order %d must be even and >= 4", ErrInvalidOptions, order)
+		return 0, nil, nil, 0, 0, fmt.Errorf("%w: order %d must be even and >= 4", ErrInvalidOptions, order)
 	}
 	sub, nc = o.Substituter, o.Cipher
 	if sub == nil || nc == nil {
 		if len(o.MasterKey) < 16 {
-			return 0, nil, nil, nil, 0, fmt.Errorf("%w: master key must be at least 16 bytes", ErrInvalidOptions)
+			return 0, nil, nil, 0, 0, fmt.Errorf("%w: master key must be at least 16 bytes", ErrInvalidOptions)
 		}
 		if sub == nil {
 			if sub, err = keysub.NewHMAC(deriveKey(o.MasterKey, "ekbtree/keysub"), 24); err != nil {
-				return 0, nil, nil, nil, 0, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+				return 0, nil, nil, 0, 0, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
 			}
 		}
 		if nc == nil {
 			if nc, err = cipher.NewAESGCM(deriveKey(o.MasterKey, "ekbtree/cipher")); err != nil {
-				return 0, nil, nil, nil, 0, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+				return 0, nil, nil, 0, 0, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
 			}
 		}
 	}
 	switch o.Durability {
 	case DurabilityFull, DurabilityGrouped, DurabilityAsync:
 	default:
-		return 0, nil, nil, nil, 0, fmt.Errorf("%w: unknown durability mode %d", ErrInvalidOptions, int(o.Durability))
+		return 0, nil, nil, 0, 0, fmt.Errorf("%w: unknown durability mode %d", ErrInvalidOptions, int(o.Durability))
 	}
 	if o.Path == "" && (o.Durability != DurabilityFull || o.GroupWindow != 0 || o.MaxUnflushed != 0) {
-		return 0, nil, nil, nil, 0, fmt.Errorf("%w: Durability, GroupWindow, and MaxUnflushed apply only to Path stores", ErrInvalidOptions)
+		return 0, nil, nil, 0, 0, fmt.Errorf("%w: Durability, GroupWindow, and MaxUnflushed apply only to Path stores", ErrInvalidOptions)
 	}
 	if o.GroupWindow < 0 {
-		return 0, nil, nil, nil, 0, fmt.Errorf("%w: negative GroupWindow", ErrInvalidOptions)
+		return 0, nil, nil, 0, 0, fmt.Errorf("%w: negative GroupWindow", ErrInvalidOptions)
 	}
 	if o.GroupWindow != 0 && o.Durability != DurabilityGrouped {
-		return 0, nil, nil, nil, 0, fmt.Errorf("%w: GroupWindow applies only to DurabilityGrouped", ErrInvalidOptions)
+		return 0, nil, nil, 0, 0, fmt.Errorf("%w: GroupWindow applies only to DurabilityGrouped", ErrInvalidOptions)
 	}
 	if o.MaxUnflushed < 0 {
-		return 0, nil, nil, nil, 0, fmt.Errorf("%w: negative MaxUnflushed", ErrInvalidOptions)
+		return 0, nil, nil, 0, 0, fmt.Errorf("%w: negative MaxUnflushed", ErrInvalidOptions)
 	}
-	st = o.Store
+	if o.Store != nil && o.Path != "" {
+		return 0, nil, nil, 0, 0, fmt.Errorf("%w: Store and Path are mutually exclusive", ErrInvalidOptions)
+	}
+	if o.MaxEpochAge < 0 {
+		return 0, nil, nil, 0, 0, fmt.Errorf("%w: negative MaxEpochAge", ErrInvalidOptions)
+	}
+	shards = o.Shards
 	switch {
-	case st != nil && o.Path != "":
-		return 0, nil, nil, nil, 0, fmt.Errorf("%w: Store and Path are mutually exclusive", ErrInvalidOptions)
-	case st == nil && o.Path != "":
-		cfg := file.Config{Durability: o.Durability, GroupWindow: o.GroupWindow, MaxUnflushed: o.MaxUnflushed}
-		if st, err = file.OpenConfig(o.Path, cfg); err != nil {
-			return 0, nil, nil, nil, 0, err
+	case shards < 0:
+		return 0, nil, nil, 0, 0, fmt.Errorf("%w: negative Shards", ErrInvalidOptions)
+	case shards == 0:
+		// The documented default is 1. The test seam widens it only for
+		// configurations that resolve their own stores: a caller-provided
+		// Store is inherently single-shard.
+		shards = 1
+		if o.Store == nil {
+			shards = testDefaultShards
 		}
-	case st == nil:
-		if st, err = newDefaultStore(); err != nil {
-			return 0, nil, nil, nil, 0, err
-		}
+	case shards > 1 && o.Store != nil:
+		return 0, nil, nil, 0, 0, fmt.Errorf("%w: Shards > 1 requires per-shard stores (Path or default), not a single Store", ErrInvalidOptions)
 	}
 	cachePages = o.CachePages
 	switch {
@@ -199,7 +262,7 @@ func (o Options) validate() (order int, sub keysub.Substituter, nc cipher.NodeCi
 	case cachePages < 0:
 		cachePages = 0
 	}
-	return order, sub, nc, st, cachePages, nil
+	return order, sub, nc, cachePages, shards, nil
 }
 
 // deriveKey computes a labeled subkey of master, so the substitution secret
@@ -210,7 +273,49 @@ func deriveKey(master []byte, label string) []byte {
 	return mac.Sum(nil)
 }
 
-// Tree is an enciphered B-tree. All methods are safe for concurrent use.
+// shardPath returns shard idx's page file path: Path itself for a
+// single-shard tree (so existing files open unchanged), Path+".shard<idx>"
+// otherwise.
+func shardPath(path string, idx, total int) string {
+	if total == 1 {
+		return path
+	}
+	return fmt.Sprintf("%s.shard%d", path, idx)
+}
+
+// checkShardLayout fails closed when the on-disk layout at path contradicts
+// the requested shard count: a single-shard file where a sharded tree was
+// requested, or shard files where a single-shard tree was requested. The
+// sealed per-shard header catches every other mismatch (N vs M shards, both
+// > 1); this guard catches the 1 <-> N transitions, where the two layouts
+// use disjoint file names and Open would otherwise silently initialize a
+// fresh empty tree beside the existing data.
+func checkShardLayout(path string, shards int) error {
+	if shards > 1 {
+		if _, err := os.Stat(path); err == nil {
+			return fmt.Errorf("%w: %s holds a single-shard tree, opened with Shards=%d", ErrConfigMismatch, path, shards)
+		}
+	} else if _, err := os.Stat(path + ".shard0"); err == nil {
+		return fmt.Errorf("%w: %s.shard0 holds shard 0 of a sharded tree, opened with Shards=1", ErrConfigMismatch, path)
+	}
+	return nil
+}
+
+// openShardStore resolves shard idx's page store from opts.
+func openShardStore(opts Options, idx, total int) (store.PageStore, error) {
+	switch {
+	case opts.Store != nil:
+		return opts.Store, nil
+	case opts.Path != "":
+		cfg := file.Config{Durability: opts.Durability, GroupWindow: opts.GroupWindow, MaxUnflushed: opts.MaxUnflushed}
+		return file.OpenConfig(shardPath(opts.Path, idx, total), cfg)
+	default:
+		return newDefaultStore()
+	}
+}
+
+// Tree is an enciphered B-tree, possibly range-sharded across several
+// independent engines. All methods are safe for concurrent use.
 //
 // # Concurrency model
 //
@@ -232,64 +337,82 @@ func deriveKey(master []byte, label string) []byte {
 // CommitPages (concurrent commits genuinely overlap there, so a group-commit
 // backend coalesces their fsyncs), and publishes in chain order. On conflict
 // the provisional state is discarded and the mutation re-runs against the new
-// tip with bounded exponential backoff; after maxOptimisticAttempts failed
-// validations it takes the commit gate exclusively, which cannot conflict, so
-// every mutation completes within a bounded number of re-executions (no
+// tip with bounded exponential backoff; after repeated failed validations it
+// takes the commit gate exclusively, which cannot conflict, so every
+// mutation completes within a bounded number of re-executions (no
 // starvation). Conflicts are invisible to callers — no error surfaces, the
 // retry happens inside the call. Commits that move the ROOT pointer (first
 // insert, root split, root collapse) always use the exclusive gate: the store
 // applies CommitPages in arrival order, so root flips must never race
 // same-root commits. Store errors, by contrast, are never retried internally
 // and propagate to the caller unchanged.
+//
+// With Shards > 1 every statement above holds PER SHARD: each shard is a
+// complete engine with its own epoch chain, commit gate, and fsync stream,
+// and operations touching different shards share no synchronization at all.
+// Single-key operations route to exactly one shard; see Batch.Commit and
+// Cursor for the cross-shard contracts.
 type Tree struct {
-	// gate is the commit gate: optimistic writers hold it SHARED for the
-	// whole pin → mutate → validate → CommitPages → publish span (so their
-	// store commits overlap and coalesce); root-changing commits and the
-	// fairness fallback take it EXCLUSIVELY, draining all in-flight commits
-	// first. sync.RWMutex blocks new readers once a writer waits, so the
-	// exclusive path cannot starve. Close takes it exclusively too.
-	gate sync.RWMutex
-	sub  keysub.Substituter
-	st   store.PageStore
-	io   *nodeIO
-	es   *epochs
-	deg  int // btree minimum degree (order/2)
-
-	// Commit-pipeline counters, surfaced through Stats.
-	commits   atomic.Uint64 // successfully published epochs
-	conflicts atomic.Uint64 // failed optimistic validations
-	retries   atomic.Uint64 // mutation re-executions (conflicts + exclusive escalations)
+	sub    keysub.Substituter
+	router *keysub.ShardRouter
+	shards []*engine.Engine
+	// maxEpochAge bounds cursor snapshot age; 0 = unbounded. See
+	// Options.MaxEpochAge.
+	maxEpochAge uint64
 }
 
 // Open builds a tree from opts. Reopening an existing store requires the same
 // substituter and cipher keys it was written with: a wrong cipher key fails
-// with ErrWrongKey, a mismatched order or scheme with ErrConfigMismatch, and
-// a structurally damaged file (Path backend) with ErrCorrupt. Recovery of an
-// interrupted commit needs no replay: the file store's shadow-paged commit
-// leaves the last durable state directly readable.
+// with ErrWrongKey, a mismatched order, scheme, or shard layout with
+// ErrConfigMismatch, and a structurally damaged file (Path backend) with
+// ErrCorrupt. Recovery of an interrupted commit needs no replay: the file
+// store's shadow-paged commit leaves the last durable state directly
+// readable.
 func Open(opts Options) (*Tree, error) {
-	order, sub, nc, st, cachePages, err := opts.validate()
+	order, sub, nc, cachePages, shards, err := opts.validate()
 	if err != nil {
 		return nil, mapErr(err)
 	}
-	// Stores opened here (Path or default) are ours to close on failure;
-	// a caller-provided Store stays the caller's to manage.
+	router, err := keysub.NewShardRouter(shards)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+	}
+	if opts.Path != "" {
+		if err := checkShardLayout(opts.Path, shards); err != nil {
+			return nil, mapErr(err)
+		}
+	}
+	t := &Tree{sub: sub, router: router, maxEpochAge: uint64(opts.MaxEpochAge)}
+	// Stores opened here (Path or default) are ours to close on failure; a
+	// caller-provided Store (single-shard only) stays the caller's to manage.
 	ownStore := opts.Store == nil
-	if err := checkHeader(st, nc, sub, order); err != nil {
-		if ownStore {
-			st.Close()
+	fail := func(err error) (*Tree, error) {
+		for _, g := range t.shards {
+			g.Close() // engines built so far always own their stores
 		}
 		return nil, mapErr(err)
 	}
-	io := newNodeIO(st, nc, cachePages)
-	root, err := st.Root()
-	if err != nil {
-		if ownStore {
-			st.Close()
+	for i := 0; i < shards; i++ {
+		st, err := openShardStore(opts, i, shards)
+		if err != nil {
+			return fail(err)
 		}
-		return nil, mapErr(err)
+		if err := checkHeader(st, nc, sub, order, i, shards); err != nil {
+			if ownStore {
+				st.Close()
+			}
+			return fail(err)
+		}
+		g, err := engine.New(engine.Config{Store: st, Cipher: nc, Order: order, CachePages: cachePages})
+		if err != nil {
+			if ownStore {
+				st.Close()
+			}
+			return fail(err)
+		}
+		t.shards = append(t.shards, g)
 	}
-	return &Tree{sub: sub, st: st, io: io, es: newEpochs(root), deg: order / 2}, nil
+	return t, nil
 }
 
 // metaPageID is the pseudo page ID binding the sealed header; real page IDs
@@ -299,9 +422,16 @@ const metaPageID = store.NoRoot
 // checkHeader validates an existing store's engine header against the opened
 // configuration, or writes one into a fresh store. The header is sealed with
 // the node cipher, so opening an existing store with the wrong key fails
-// here, fast and closed, instead of on the first Get.
-func checkHeader(st store.PageStore, nc cipher.NodeCipher, sub keysub.Substituter, order int) error {
+// here, fast and closed, instead of on the first Get. For sharded trees the
+// header additionally seals the shard's index and the total shard count, so
+// a file can never be opened as part of a differently-sharded tree (or as a
+// different shard of the same tree); single-shard headers are byte-identical
+// to pre-sharding versions, keeping existing files openable.
+func checkHeader(st store.PageStore, nc cipher.NodeCipher, sub keysub.Substituter, order, idx, total int) error {
 	want := fmt.Sprintf("ekbtree/1 order=%d keysub=%s cipher=%s", order, sub.Name(), nc.Name())
+	if total > 1 {
+		want += fmt.Sprintf(" shards=%d/%d", idx, total)
+	}
 	meta, err := st.Meta()
 	if err != nil {
 		return err
@@ -343,140 +473,14 @@ func checkValueSize(value []byte) error {
 	return nil
 }
 
-// maxOptimisticAttempts bounds how many times a mutation retries
-// optimistically before falling back to the exclusive commit gate. The
-// exclusive pass drains every in-flight commit first, so its validation
-// cannot fail: every mutation completes within maxOptimisticAttempts+1
-// re-executions — the engine's fairness bound.
-const maxOptimisticAttempts = 4
-
-// commitBackoff is the bounded exponential backoff before optimistic retry
-// number attempt (1-based): 8µs, 16µs, 32µs, ... capped at 128µs. Long
-// enough for the conflicting commit wave to publish, short against even a
-// grouped-durability flush.
-func commitBackoff(attempt int) time.Duration {
-	d := time.Duration(8<<uint(attempt-1)) * time.Microsecond
-	if d > 128*time.Microsecond {
-		d = 128 * time.Microsecond
-	}
-	return d
-}
-
-// commitDisposition is tryCommit's verdict on one attempt.
-type commitDisposition int
-
-const (
-	commitDone           commitDisposition = iota // finished (success or a real error)
-	commitConflict                                // validation failed; back off and retry
-	commitNeedsExclusive                          // the mutation moves the root; redo under the exclusive gate
-)
-
-// applyCommit runs one mutation (a single op or a whole batch) through the
-// optimistic commit pipeline until it either commits, proves a no-op, or hits
-// a real error. Each attempt re-executes apply from scratch against a fresh
-// transaction over the then-current epoch, so retried work is always built on
-// consistent state; see tryCommit for one attempt's shape and the Tree type
-// comment for the protocol.
-func (t *Tree) applyCommit(apply func(bt *btree.Tree) error) error {
-	exclusive := false
-	for attempt := 1; ; attempt++ {
-		if attempt > maxOptimisticAttempts {
-			exclusive = true
-		}
-		err, disp := t.tryCommit(apply, exclusive)
-		switch disp {
-		case commitConflict:
-			t.conflicts.Add(1)
-			t.retries.Add(1)
-			time.Sleep(commitBackoff(attempt))
-		case commitNeedsExclusive:
-			exclusive = true
-			t.retries.Add(1)
-		default:
-			return err
-		}
-	}
-}
-
-// tryCommit is one optimistic (or exclusive) commit attempt:
-//
-//  1. under the commit gate — shared for optimistic attempts, so concurrent
-//     commits overlap in the store; exclusive for root-changers and the
-//     fairness fallback — pin the current epoch as the transaction's base;
-//  2. apply stages every touched page as a private decoded clone resolving
-//     reads as of the base epoch, and records the page-level read-set (the
-//     shared cache and all pinned epochs stay untouched);
-//  3. seal seals each dirty page once (fanning out across GOMAXPROCS workers
-//     for large commits) and harvests the write-set, the frees, the new
-//     root, and the pre-images of every superseded page;
-//  4. validateAndPrepare checks the read-set against every commit linked
-//     since the base and links the pre-images into the epoch chain as a
-//     provisional epoch BEFORE the store sees the commit, so readers pinned
-//     to older epochs keep resolving superseded pages from memory;
-//  5. the store applies the whole set atomically (CommitPages) — no façade
-//     mutex or epoch lock is held across this I/O, so concurrent Gets,
-//     cursors, and other committing writers all proceed;
-//  6. in chain order, the staged clones are promoted into the shared cache
-//     and the epoch is published for new readers to pin.
-//
-// On a store error nothing is published: the clones are dropped, the cache
-// still holds the pre-commit versions, and the provisional epoch is resolved
-// failed (kept linked only while its pre-images may be load-bearing on a
-// store that applied the commit before fail-stopping).
-func (t *Tree) tryCommit(apply func(bt *btree.Tree) error, exclusive bool) (error, commitDisposition) {
-	if exclusive {
-		t.gate.Lock()
-		defer t.gate.Unlock()
-	} else {
-		t.gate.RLock()
-		defer t.gate.RUnlock()
-	}
-	base, err := t.es.pin()
-	if err != nil {
-		return err, commitDone
-	}
-	defer t.es.release(base)
-	tx := newWriteTxn(t.io, base)
-	bt, err := btree.New(tx, t.deg)
-	if err != nil {
-		return err, commitDone
-	}
-	if err := apply(bt); err != nil {
-		return mapErr(err), commitDone
-	}
-	cs, err := tx.seal()
-	if err != nil {
-		return mapErr(err), commitDone
-	}
-	if cs == nil {
-		// A no-op (nothing dirtied, freed, or re-rooted) needs no store round
-		// trip and no validation: with no writes, the operation is
-		// serializable at its base epoch — a consistent point inside the
-		// call's window.
-		return nil, commitDone
-	}
-	if !exclusive && cs.root != tx.baseRoot {
-		// Root flips must not race other in-flight commits: the store applies
-		// concurrent CommitPages in arrival order, and a stale same-root
-		// commit landing after the flip would clobber it. Redo exclusively.
-		return nil, commitNeedsExclusive
-	}
-	e, ok := t.es.validateAndPrepare(base, tx.reads, cs)
-	if !ok {
-		return nil, commitConflict
-	}
-	if err := t.st.CommitPages(cs.writes, cs.root, cs.frees); err != nil {
-		t.es.finalizeFailure(e)
-		return mapErr(err), commitDone
-	}
-	t.es.finalizeSuccess(e, func() { t.io.promoteTxn(cs, tx.staged) })
-	t.commits.Add(1)
-	return nil, commitDone
+// shardFor returns the engine owning substituted key sk.
+func (t *Tree) shardFor(sk []byte) *engine.Engine {
+	return t.shards[t.router.Route(sk)]
 }
 
 // Put stores value under key, replacing any existing value. Both slices are
 // copied; the caller keeps ownership. Every page the operation touches is
-// staged decoded, then the whole set is handed to the store's atomic
+// staged decoded, then the whole set is handed to the owning shard's atomic
 // CommitPages and published as one epoch, so even a multi-page split is
 // all-or-nothing for readers and durable backends alike.
 func (t *Tree) Put(key, value []byte) error {
@@ -488,27 +492,15 @@ func (t *Tree) Put(key, value []byte) error {
 		return err
 	}
 	v := append([]byte(nil), value...)
-	return t.applyCommit(func(bt *btree.Tree) error { return bt.Put(sk, v) })
+	return t.shardFor(sk).Apply(func(bt *btree.Tree) error { return bt.Put(sk, v) })
 }
 
 // Get returns the value stored under key. The returned slice is a fresh copy
-// owned by the caller. Get pins the current epoch and reads lock-free: it
-// never waits for writers, including an in-flight batch commit.
+// owned by the caller. Get pins the owning shard's current epoch and reads
+// lock-free: it never waits for writers, including an in-flight batch commit.
 func (t *Tree) Get(key []byte) ([]byte, bool, error) {
 	sk := t.sub.Substitute(key)
-	e, err := t.es.pin()
-	if err != nil {
-		return nil, false, err
-	}
-	defer t.es.release(e)
-	v, ok, err := btree.Lookup(epochReader{io: t.io, e: e}, e.root, sk)
-	if err != nil {
-		return nil, false, mapErr(err)
-	}
-	if !ok {
-		return nil, false, nil
-	}
-	return append([]byte(nil), v...), true, nil
+	return t.shardFor(sk).Get(sk)
 }
 
 // Delete removes key, reporting whether it was present. Like Put, it commits
@@ -520,7 +512,7 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 		return false, err
 	}
 	var deleted bool
-	err = t.applyCommit(func(bt *btree.Tree) error {
+	err = t.shardFor(sk).Apply(func(bt *btree.Tree) error {
 		var err error
 		deleted, err = bt.Delete(sk)
 		return err
@@ -538,11 +530,12 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 // substituted key — the plaintext key is not recoverable from the tree.
 //
 // Scan is a thin wrapper over Cursor, so it observes one point-in-time
-// snapshot of the tree: the epoch current when Scan begins. fn runs with no
-// tree lock held and may call any method of this Tree, including mutations —
-// but mutations made during the scan are not visible to it. The slices
-// passed to fn are read-only views into the snapshot, valid only for the
-// duration of the callback; fn copies what it retains.
+// snapshot of the tree (per shard; see Cursor for the cross-shard contract):
+// the epoch current when Scan begins. fn runs with no tree lock held and may
+// call any method of this Tree, including mutations — but mutations made
+// during the scan are not visible to it. The slices passed to fn are
+// read-only views into the snapshot, valid only for the duration of the
+// callback; fn copies what it retains.
 func (t *Tree) Scan(fn func(subKey, value []byte) bool) error {
 	return t.cursorScan(t.Cursor(), fn)
 }
@@ -574,19 +567,25 @@ func (t *Tree) cursorScan(c *Cursor, fn func(subKey, value []byte) bool) error {
 
 // Stats describes the tree: shape (key count, node count, height),
 // decoded-node cache traffic, and commit-pipeline contention counters since
-// Open.
+// Open. For a sharded tree the counts and counters are SUMS across shards,
+// Height is the maximum shard height, and Shards is the shard count; each
+// shard's shape is observed against its own pinned epoch, so per-shard
+// figures are individually consistent but the sum is not one cross-shard
+// point in time.
 type Stats struct {
 	// Keys is the number of live entries.
 	Keys int
 	// Nodes is the number of B-tree pages.
 	Nodes int
-	// Height is the tree height in levels (0 for an empty tree).
+	// Height is the tree height in levels (0 for an empty tree); for a
+	// sharded tree, the tallest shard's height.
 	Height int
-	// Cache counts decoded-node cache hits, misses, and clock evictions.
+	// Cache counts decoded-node cache hits, misses, and clock evictions,
+	// summed across shards.
 	Cache CacheStats
 	// Commits is the number of successfully published commit epochs. No-op
 	// mutations (e.g. deleting an absent key) publish nothing and are not
-	// counted.
+	// counted. A sharded Batch.Commit counts once per shard it touched.
 	Commits uint64
 	// Conflicts is the number of optimistic commit attempts discarded because
 	// a concurrent commit invalidated the attempt's read-set. Conflicts are
@@ -596,56 +595,71 @@ type Stats struct {
 	// every escalation to the exclusive commit gate (root-moving commits and
 	// the fairness fallback after repeated conflicts).
 	Retries uint64
+	// Shards is the number of shards (1 for an unsharded tree).
+	Shards int
 }
 
-// Stats reports tree shape, cache counters, and commit-pipeline counters.
-// The shape walk is O(nodes) and runs against a pinned epoch, so it observes
-// one consistent version and never blocks (or is blocked by) writers. The
-// counters are monotonic for the lifetime of the handle.
+// Stats reports tree shape, cache counters, and commit-pipeline counters,
+// aggregated across shards. The shape walk is O(nodes) and runs against a
+// pinned epoch per shard, so it observes one consistent version of each
+// shard and never blocks (or is blocked by) writers. The counters are
+// monotonic for the lifetime of the handle.
 func (t *Tree) Stats() (Stats, error) {
-	e, err := t.es.pin()
-	if err != nil {
-		return Stats{}, err
+	agg := Stats{Shards: len(t.shards)}
+	for _, g := range t.shards {
+		s, err := g.Stats()
+		if err != nil {
+			return Stats{}, err
+		}
+		agg.Keys += s.Keys
+		agg.Nodes += s.Nodes
+		if s.Height > agg.Height {
+			agg.Height = s.Height
+		}
+		agg.Cache.Hits += s.Cache.Hits
+		agg.Cache.Misses += s.Cache.Misses
+		agg.Cache.Evictions += s.Cache.Evictions
+		agg.Cache.Pages += s.Cache.Pages
+		agg.Commits += s.Commits
+		agg.Conflicts += s.Conflicts
+		agg.Retries += s.Retries
 	}
-	defer t.es.release(e)
-	s, err := btree.StatsIn(epochReader{io: t.io, e: e}, e.root)
-	if err != nil {
-		return Stats{}, mapErr(err)
-	}
-	return Stats{
-		Keys: s.Keys, Nodes: s.Nodes, Height: s.Height,
-		Cache:     t.io.cacheStats(),
-		Commits:   t.commits.Load(),
-		Conflicts: t.conflicts.Load(),
-		Retries:   t.retries.Load(),
-	}, nil
+	return agg, nil
 }
 
 // Sync blocks until every write acknowledged before the call is durable on
-// the backing store. It is the durability barrier for DurabilityAsync (and
-// an early flush for DurabilityGrouped); for DurabilityFull, the in-memory
-// backend, or an idle store it returns immediately. Sync may run
-// concurrently with both readers and writers.
+// the backing store(s). It is the durability barrier for DurabilityAsync
+// (and an early flush for DurabilityGrouped); for DurabilityFull, the
+// in-memory backend, or an idle store it returns immediately. Sync may run
+// concurrently with both readers and writers. For a sharded tree it syncs
+// every shard, returning the first error.
 func (t *Tree) Sync() error {
-	if t.es.isClosed() {
-		return ErrClosed
+	for _, g := range t.shards {
+		if err := g.Sync(); err != nil {
+			return err
+		}
 	}
-	return mapErr(t.st.Sync())
+	return nil
 }
 
-// Close releases the underlying store. After Close every method of the tree
-// (and any open Cursor on it) returns ErrClosed; closing twice returns
+// closed reports whether the tree has been closed (all shards close
+// together, so checking the first suffices).
+func (t *Tree) closed() bool {
+	return t.shards[0].Closed()
+}
+
+// Close releases the underlying store(s). After Close every method of the
+// tree (and any open Cursor on it) returns ErrClosed; closing twice returns
 // ErrClosed as well. Close does not wait for in-flight readers: a Get or
 // cursor step racing Close either completes normally or fails with
-// ErrClosed.
+// ErrClosed. For a sharded tree every shard is closed even if some fail; the
+// errors are joined.
 func (t *Tree) Close() error {
-	// The exclusive gate drains every in-flight commit before the chain
-	// closes, so no writer is mid-CommitPages when the store goes away.
-	t.gate.Lock()
-	defer t.gate.Unlock()
-	if !t.es.close() {
-		return ErrClosed
+	var errs []error
+	for _, g := range t.shards {
+		if err := g.Close(); err != nil {
+			errs = append(errs, err)
+		}
 	}
-	t.io.invalidate()
-	return mapErr(t.st.Close())
+	return errors.Join(errs...)
 }

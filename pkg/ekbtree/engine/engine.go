@@ -1,0 +1,345 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/paper-repro/ekbtree/internal/btree"
+	"github.com/paper-repro/ekbtree/internal/cipher"
+	"github.com/paper-repro/ekbtree/internal/store"
+)
+
+// Config assembles one shard's layers. The caller (the façade) has already
+// validated the pieces and verified the store's sealed header; the engine
+// takes them as-is. The store is the engine's to close.
+type Config struct {
+	// Store is the shard's page store, already header-checked.
+	Store store.PageStore
+	// Cipher seals and opens this shard's pages.
+	Cipher cipher.NodeCipher
+	// Order is the B-tree order (maximum children per node); validated even
+	// and >= 4 by the caller.
+	Order int
+	// CachePages caps the decoded-node cache; 0 disables it.
+	CachePages int
+}
+
+// Engine is one single-shard enciphered B-tree: the epoch-based snapshot
+// chain, the optimistic commit pipeline, and the decoded-node cache over one
+// page store. It speaks substituted keys only. All methods are safe for
+// concurrent use. See the pkg/ekbtree Tree doc comment for the full
+// concurrency model; the façade's description IS this engine's behavior,
+// one shard at a time.
+type Engine struct {
+	// gate is the commit gate: optimistic writers hold it SHARED for the
+	// whole pin → mutate → validate → CommitPages → publish span (so their
+	// store commits overlap and coalesce); root-changing commits and the
+	// fairness fallback take it EXCLUSIVELY, draining all in-flight commits
+	// first. sync.RWMutex blocks new readers once a writer waits, so the
+	// exclusive path cannot starve. Close takes it exclusively too.
+	gate sync.RWMutex
+	st   store.PageStore
+	io   *nodeIO
+	es   *epochs
+	deg  int // btree minimum degree (order/2)
+
+	// Commit-pipeline counters, surfaced through Stats.
+	commits   atomic.Uint64 // successfully published epochs
+	conflicts atomic.Uint64 // failed optimistic validations
+	retries   atomic.Uint64 // mutation re-executions (conflicts + exclusive escalations)
+}
+
+// New builds an engine over cfg's store, seeding the epoch chain from the
+// store's current root. It performs no header validation — that is the
+// façade's job, before the store is handed over.
+func New(cfg Config) (*Engine, error) {
+	root, err := cfg.Store.Root()
+	if err != nil {
+		return nil, MapErr(err)
+	}
+	return &Engine{
+		st:  cfg.Store,
+		io:  newNodeIO(cfg.Store, cfg.Cipher, cfg.CachePages),
+		es:  newEpochs(root),
+		deg: cfg.Order / 2,
+	}, nil
+}
+
+// maxOptimisticAttempts bounds how many times a mutation retries
+// optimistically before falling back to the exclusive commit gate. The
+// exclusive pass drains every in-flight commit first, so its validation
+// cannot fail: every mutation completes within maxOptimisticAttempts+1
+// re-executions — the engine's fairness bound.
+const maxOptimisticAttempts = 4
+
+// commitBackoff is the bounded exponential backoff before optimistic retry
+// number attempt (1-based): 8µs, 16µs, 32µs, ... capped at 128µs. Long
+// enough for the conflicting commit wave to publish, short against even a
+// grouped-durability flush.
+func commitBackoff(attempt int) time.Duration {
+	d := time.Duration(8<<uint(attempt-1)) * time.Microsecond
+	if d > 128*time.Microsecond {
+		d = 128 * time.Microsecond
+	}
+	return d
+}
+
+// commitDisposition is tryCommit's verdict on one attempt.
+type commitDisposition int
+
+const (
+	commitDone           commitDisposition = iota // finished (success or a real error)
+	commitConflict                                // validation failed; back off and retry
+	commitNeedsExclusive                          // the mutation moves the root; redo under the exclusive gate
+)
+
+// Apply runs one mutation (a single op or a whole batch) through the
+// optimistic commit pipeline until it either commits, proves a no-op, or hits
+// a real error. Each attempt re-executes apply from scratch against a fresh
+// transaction over the then-current epoch, so retried work is always built on
+// consistent state; see tryCommit for one attempt's shape. Conflicts are
+// invisible to callers — no error surfaces, the retry happens inside the
+// call. Store errors are never retried and propagate unchanged.
+func (g *Engine) Apply(apply func(bt *btree.Tree) error) error {
+	exclusive := false
+	for attempt := 1; ; attempt++ {
+		if attempt > maxOptimisticAttempts {
+			exclusive = true
+		}
+		err, disp := g.tryCommit(apply, exclusive)
+		switch disp {
+		case commitConflict:
+			g.conflicts.Add(1)
+			g.retries.Add(1)
+			time.Sleep(commitBackoff(attempt))
+		case commitNeedsExclusive:
+			exclusive = true
+			g.retries.Add(1)
+		default:
+			return err
+		}
+	}
+}
+
+// tryCommit is one optimistic (or exclusive) commit attempt:
+//
+//  1. under the commit gate — shared for optimistic attempts, so concurrent
+//     commits overlap in the store; exclusive for root-changers and the
+//     fairness fallback — pin the current epoch as the transaction's base;
+//  2. apply stages every touched page as a private decoded clone resolving
+//     reads as of the base epoch, and records the page-level read-set (the
+//     shared cache and all pinned epochs stay untouched);
+//  3. seal seals each dirty page once (fanning out across GOMAXPROCS workers
+//     for large commits) and harvests the write-set, the frees, the new
+//     root, and the pre-images of every superseded page;
+//  4. validateAndPrepare checks the read-set against every commit linked
+//     since the base and links the pre-images into the epoch chain as a
+//     provisional epoch BEFORE the store sees the commit, so readers pinned
+//     to older epochs keep resolving superseded pages from memory;
+//  5. the store applies the whole set atomically (CommitPages) — no engine
+//     mutex or epoch lock is held across this I/O, so concurrent Gets,
+//     cursors, and other committing writers all proceed;
+//  6. in chain order, the staged clones are promoted into the shared cache
+//     and the epoch is published for new readers to pin.
+//
+// On a store error nothing is published: the clones are dropped, the cache
+// still holds the pre-commit versions, and the provisional epoch is resolved
+// failed (kept linked only while its pre-images may be load-bearing on a
+// store that applied the commit before fail-stopping).
+func (g *Engine) tryCommit(apply func(bt *btree.Tree) error, exclusive bool) (error, commitDisposition) {
+	if exclusive {
+		g.gate.Lock()
+		defer g.gate.Unlock()
+	} else {
+		g.gate.RLock()
+		defer g.gate.RUnlock()
+	}
+	base, err := g.es.pin()
+	if err != nil {
+		return err, commitDone
+	}
+	defer g.es.release(base)
+	tx := newWriteTxn(g.io, base)
+	bt, err := btree.New(tx, g.deg)
+	if err != nil {
+		return err, commitDone
+	}
+	if err := apply(bt); err != nil {
+		return MapErr(err), commitDone
+	}
+	cs, err := tx.seal()
+	if err != nil {
+		return MapErr(err), commitDone
+	}
+	if cs == nil {
+		// A no-op (nothing dirtied, freed, or re-rooted) needs no store round
+		// trip and no validation: with no writes, the operation is
+		// serializable at its base epoch — a consistent point inside the
+		// call's window.
+		return nil, commitDone
+	}
+	if !exclusive && cs.root != tx.baseRoot {
+		// Root flips must not race other in-flight commits: the store applies
+		// concurrent CommitPages in arrival order, and a stale same-root
+		// commit landing after the flip would clobber it. Redo exclusively.
+		return nil, commitNeedsExclusive
+	}
+	e, ok := g.es.validateAndPrepare(base, tx.reads, cs)
+	if !ok {
+		return nil, commitConflict
+	}
+	if err := g.st.CommitPages(cs.writes, cs.root, cs.frees); err != nil {
+		g.es.finalizeFailure(e)
+		return MapErr(err), commitDone
+	}
+	g.es.finalizeSuccess(e, func() { g.io.promoteTxn(cs, tx.staged) })
+	g.commits.Add(1)
+	return nil, commitDone
+}
+
+// Get returns the value stored under substituted key sk, as a fresh copy the
+// caller owns. It pins the current epoch and reads lock-free: it never waits
+// for writers, including an in-flight batch commit.
+func (g *Engine) Get(sk []byte) ([]byte, bool, error) {
+	e, err := g.es.pin()
+	if err != nil {
+		return nil, false, err
+	}
+	defer g.es.release(e)
+	v, ok, err := btree.Lookup(epochReader{io: g.io, e: e}, e.root, sk)
+	if err != nil {
+		return nil, false, MapErr(err)
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+// Snapshot is a pinned epoch: a frozen, fully readable version of one shard.
+// It holds superseded pre-images in memory until closed, so callers bound its
+// lifetime (see Age). Safe for use by one goroutine at a time.
+type Snapshot struct {
+	g      *Engine
+	e      *epoch
+	closed bool
+}
+
+// Snapshot pins the current epoch and returns it as a read handle. Every
+// snapshot must be closed exactly once.
+func (g *Engine) Snapshot() (*Snapshot, error) {
+	e, err := g.es.pin()
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{g: g, e: e}, nil
+}
+
+// Root returns the page ID of the snapshot's root (store.NoRoot when empty).
+func (s *Snapshot) Root() uint64 { return s.e.root }
+
+// Age reports how many commits have published since this snapshot was
+// pinned — the measure a MaxEpochAge bound cuts off. Lock-free.
+func (s *Snapshot) Age() uint64 {
+	return s.g.es.published.Load() - s.e.pubCount
+}
+
+// Iter returns an in-order iterator over the snapshot, stopping before
+// exclusive upper bound hi (nil = unbounded). Position it with Seek before
+// the first Next. The iterator is only valid until the snapshot is closed.
+func (s *Snapshot) Iter(hi []byte) *Iter {
+	return &Iter{it: btree.NewIter(epochReader{io: s.g.io, e: s.e}, s.e.root, hi)}
+}
+
+// Close releases the pin. Closing twice is a no-op.
+func (s *Snapshot) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.g.es.release(s.e)
+}
+
+// Iter is an in-order iterator over one snapshot. The key/value slices Next
+// returns are read-only views into the snapshot's node set, valid until the
+// owning snapshot is closed.
+type Iter struct {
+	it *btree.Iter
+}
+
+// Seek positions the iterator at the first key >= from (nil = the smallest
+// key). The next Next returns that entry.
+func (it *Iter) Seek(from []byte) { it.it.Seek(from) }
+
+// Next returns the next entry, or ok=false at the end of the range or on
+// error (check Err).
+func (it *Iter) Next() (key, value []byte, ok bool) { return it.it.Next() }
+
+// Err returns the first error the iterator hit, mapped to the sentinel
+// taxonomy, or nil.
+func (it *Iter) Err() error { return MapErr(it.it.Err()) }
+
+// Stats describes one shard: shape (key count, node count, height),
+// decoded-node cache traffic, and commit-pipeline contention counters since
+// open.
+type Stats struct {
+	Keys      int
+	Nodes     int
+	Height    int
+	Cache     CacheStats
+	Commits   uint64
+	Conflicts uint64
+	Retries   uint64
+}
+
+// Stats reports shard shape, cache counters, and commit-pipeline counters.
+// The shape walk is O(nodes) and runs against a pinned epoch, so it observes
+// one consistent version and never blocks (or is blocked by) writers.
+func (g *Engine) Stats() (Stats, error) {
+	e, err := g.es.pin()
+	if err != nil {
+		return Stats{}, err
+	}
+	defer g.es.release(e)
+	s, err := btree.StatsIn(epochReader{io: g.io, e: e}, e.root)
+	if err != nil {
+		return Stats{}, MapErr(err)
+	}
+	return Stats{
+		Keys: s.Keys, Nodes: s.Nodes, Height: s.Height,
+		Cache:     g.io.cacheStats(),
+		Commits:   g.commits.Load(),
+		Conflicts: g.conflicts.Load(),
+		Retries:   g.retries.Load(),
+	}, nil
+}
+
+// Sync blocks until every write acknowledged before the call is durable on
+// the backing store. May run concurrently with both readers and writers.
+func (g *Engine) Sync() error {
+	if g.es.isClosed() {
+		return ErrClosed
+	}
+	return MapErr(g.st.Sync())
+}
+
+// Closed reports whether Close has been called, without blocking behind any
+// engine lock.
+func (g *Engine) Closed() bool { return g.es.isClosed() }
+
+// Close releases the underlying store. After Close every method returns
+// ErrClosed; closing twice returns ErrClosed as well. Close does not wait for
+// in-flight readers: a Get or iterator step racing Close either completes
+// normally or fails with ErrClosed.
+func (g *Engine) Close() error {
+	// The exclusive gate drains every in-flight commit before the chain
+	// closes, so no writer is mid-CommitPages when the store goes away.
+	g.gate.Lock()
+	defer g.gate.Unlock()
+	if !g.es.close() {
+		return ErrClosed
+	}
+	g.io.invalidate()
+	return MapErr(g.st.Close())
+}

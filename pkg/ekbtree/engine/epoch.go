@@ -1,4 +1,4 @@
-package ekbtree
+package engine
 
 import (
 	"sync"
@@ -54,6 +54,11 @@ type epoch struct {
 	next    atomic.Pointer[epoch]
 	refs    int // pinning readers; guarded by epochs.mu
 	state   epochState
+	// pubCount is the value of epochs.published when this epoch was published
+	// (0 for the seed epoch). The difference between the chain's current
+	// published counter and an epoch's pubCount is the number of commits that
+	// landed after it — the "age" a pinned snapshot reports.
+	pubCount uint64
 }
 
 // lookupUndo resolves page id as of this epoch against the undo overlays of
@@ -100,6 +105,9 @@ type epochs struct {
 	tail        *epoch // newest linked epoch (== current unless commits are in flight or failed)
 	head        *epoch // oldest epoch that may still have pinned readers
 	closed      atomic.Bool
+	// published counts successfully published epochs since open. Monotonic;
+	// read lock-free by Snapshot.Age.
+	published atomic.Uint64
 }
 
 // newEpochs seeds the chain with the store's current root as epoch 0.
@@ -192,6 +200,7 @@ func (es *epochs) finalizeSuccess(e *epoch, promote func()) {
 	defer es.mu.Unlock()
 	es.waitTurnLocked(e)
 	promote()
+	e.pubCount = es.published.Add(1)
 	e.state = epochPublished
 	es.current = e
 	es.failedSince = false

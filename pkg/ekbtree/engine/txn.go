@@ -1,4 +1,4 @@
-package ekbtree
+package engine
 
 import (
 	"errors"

@@ -1,86 +1,60 @@
 package ekbtree
 
-import (
-	"errors"
-	"fmt"
-
-	"github.com/paper-repro/ekbtree/internal/cipher"
-	"github.com/paper-repro/ekbtree/internal/node"
-	"github.com/paper-repro/ekbtree/internal/store"
-	"github.com/paper-repro/ekbtree/internal/store/file"
-)
+import "github.com/paper-repro/ekbtree/pkg/ekbtree/engine"
 
 // Sentinel errors returned by the façade. All façade methods return either
 // nil or an error matching exactly one of these via errors.Is; the dynamic
-// message may carry additional detail.
+// message may carry additional detail. The sentinels live in the engine
+// package (the façade and its per-shard engines share one taxonomy) and are
+// re-exported here, so errors.Is works identically whichever layer produced
+// the error.
 var (
 	// ErrClosed is returned by any operation on a closed Tree, and by
 	// Cursor/Batch operations after Close, Commit, or Discard.
-	ErrClosed = errors.New("ekbtree: closed")
+	ErrClosed = engine.ErrClosed
 
 	// ErrTooLarge is returned when a value, or a substituted key produced by
 	// a custom Substituter, exceeds the page encoding's size limits.
-	ErrTooLarge = errors.New("ekbtree: key or value too large")
+	ErrTooLarge = engine.ErrTooLarge
 
 	// ErrWrongKey is returned by Open when the store's sealed header cannot
 	// be deciphered — the cipher key differs from the one the store was
 	// written with (or the header itself was tampered with).
-	ErrWrongKey = errors.New("ekbtree: wrong key for existing store")
+	ErrWrongKey = engine.ErrWrongKey
 
 	// ErrConfigMismatch is returned by Open when the header deciphers but
-	// records a different order or substituter/cipher scheme than the one
-	// being opened.
-	ErrConfigMismatch = errors.New("ekbtree: store configuration mismatch")
+	// records a different order, shard layout, or substituter/cipher scheme
+	// than the one being opened. In particular, a store written with
+	// Options.Shards=N reopens only with the same N: the shard count and
+	// index are sealed into every shard's header.
+	ErrConfigMismatch = engine.ErrConfigMismatch
 
 	// ErrCorrupt is returned when a page fails authentication or decoding
 	// after the header has already been verified, or when the tree references
 	// a page the store no longer holds.
-	ErrCorrupt = errors.New("ekbtree: corrupted store")
+	ErrCorrupt = engine.ErrCorrupt
 
 	// ErrInvalidOptions is returned by Open for an Options value that cannot
-	// describe a tree (bad order, short master key, missing layers).
-	ErrInvalidOptions = errors.New("ekbtree: invalid options")
+	// describe a tree (bad order, short master key, missing layers,
+	// inconsistent sharding).
+	ErrInvalidOptions = engine.ErrInvalidOptions
 
-	// ErrLocked is returned by Open when the page file at Options.Path is
+	// ErrLocked is returned by Open when a page file at Options.Path is
 	// already held by another store — in this process or another. The
 	// single-writer lock fails fast instead of letting two engines
 	// shadow-page over each other. Enforced on unix platforms (flock);
 	// elsewhere exclusivity is the caller's responsibility.
-	ErrLocked = errors.New("ekbtree: store file locked by another process")
+	ErrLocked = engine.ErrLocked
+
+	// ErrSnapshotTooOld is returned by cursor positioning calls (First, Seek,
+	// Next) when Options.MaxEpochAge is set and more than that many commits
+	// have published since the cursor pinned its snapshot. The cursor's
+	// snapshot is still consistent — the error is a resource bound, not a
+	// corruption signal — and the caller's recovery is to close the cursor
+	// and open a fresh one.
+	ErrSnapshotTooOld = engine.ErrSnapshotTooOld
 )
 
 // mapErr translates internal-layer errors into the façade's sentinel
 // taxonomy. Errors already carrying a façade sentinel pass through untouched.
-func mapErr(err error) error {
-	switch {
-	case err == nil:
-		return nil
-	case errors.Is(err, ErrClosed), errors.Is(err, ErrTooLarge),
-		errors.Is(err, ErrWrongKey), errors.Is(err, ErrConfigMismatch),
-		errors.Is(err, ErrCorrupt), errors.Is(err, ErrInvalidOptions),
-		errors.Is(err, ErrLocked):
-		return err
-	case errors.Is(err, store.ErrClosed):
-		return ErrClosed
-	case errors.Is(err, store.ErrNotFound):
-		// The tree referenced a page the store has no record of: a dangling
-		// pointer, i.e. structural corruption.
-		return fmt.Errorf("%w: %v", ErrCorrupt, err)
-	case errors.Is(err, cipher.ErrOpen):
-		// The header already authenticated at Open, so a later page that
-		// fails to open means tampering or corruption, not a wrong key.
-		return fmt.Errorf("%w: %v", ErrCorrupt, err)
-	case errors.Is(err, node.ErrDecode):
-		return fmt.Errorf("%w: %v", ErrCorrupt, err)
-	case errors.Is(err, file.ErrLocked):
-		return fmt.Errorf("%w: %v", ErrLocked, err)
-	case errors.Is(err, file.ErrCorrupt):
-		// The page file's structural metadata (magic, meta slots, directory
-		// checksums) failed validation at Open. An interrupted commit never
-		// produces this — shadow paging keeps the previous state intact — so
-		// it means external damage to the file.
-		return fmt.Errorf("%w: %v", ErrCorrupt, err)
-	default:
-		return err
-	}
-}
+func mapErr(err error) error { return engine.MapErr(err) }

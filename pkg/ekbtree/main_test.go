@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync/atomic"
 	"testing"
 
@@ -11,11 +12,23 @@ import (
 	"github.com/paper-repro/ekbtree/internal/store/file"
 )
 
-// TestMain lets the whole façade suite run unmodified against either
-// backend: with EKBTREE_BACKEND=file, every test that opens a tree without
-// an explicit Store gets a fresh crash-safe file-backed store instead of the
-// in-memory one. CI and `make test` run both.
+// TestMain lets the whole façade suite run unmodified against other
+// configurations: with EKBTREE_BACKEND=file, every test that opens a tree
+// without an explicit Store gets a fresh crash-safe file-backed store instead
+// of the in-memory one, and with EKBTREE_SHARDS=N (N > 1), every such tree is
+// range-sharded across N engines — so the routed Put/Get/Delete paths, the
+// per-shard batch fan-out, and the merge cursor face the entire suite's
+// assertions, not just the shard-specific tests. CI and `make test` run the
+// backends; the shard-matrix CI job runs EKBTREE_SHARDS=3.
 func TestMain(m *testing.M) {
+	if s := os.Getenv("EKBTREE_SHARDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "invalid EKBTREE_SHARDS %q (want a positive integer)\n", s)
+			os.Exit(1)
+		}
+		testDefaultShards = n
+	}
 	switch backend := os.Getenv("EKBTREE_BACKEND"); backend {
 	case "", "mem":
 		os.Exit(m.Run())

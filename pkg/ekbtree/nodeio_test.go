@@ -2,135 +2,11 @@ package ekbtree
 
 import (
 	"bytes"
-	"errors"
 	"sync/atomic"
 	"testing"
 
-	"github.com/paper-repro/ekbtree/internal/cipher"
-	"github.com/paper-repro/ekbtree/internal/node"
 	"github.com/paper-repro/ekbtree/internal/store"
 )
-
-// TestBatchRestageAfterFree is the regression test for the staged-commit
-// dangling-page bug: a page freed and then re-staged within the same
-// transaction used to stay in the freed set, so commit would seal and write
-// it and then immediately release it, leaving any reference to it dangling.
-func TestBatchRestageAfterFree(t *testing.T) {
-	st := store.NewMem()
-	defer st.Close()
-	io := newNodeIO(st, cipher.Plaintext{}, 4)
-
-	id, err := io.Alloc()
-	if err != nil {
-		t.Fatal(err)
-	}
-	v1 := &node.Node{Leaf: true, Keys: [][]byte{[]byte("k")}, Values: [][]byte{[]byte("v1")}}
-	if err := io.Write(id, v1); err != nil {
-		t.Fatal(err)
-	}
-
-	root, err := st.Root()
-	if err != nil {
-		t.Fatal(err)
-	}
-	tx := newWriteTxn(io, &epoch{root: root, state: epochPublished})
-	if err := tx.Free(id); err != nil {
-		t.Fatal(err)
-	}
-	v2 := &node.Node{Leaf: true, Keys: [][]byte{[]byte("k")}, Values: [][]byte{[]byte("v2")}}
-	if err := tx.Write(id, v2); err != nil {
-		t.Fatal(err)
-	}
-	if err := tx.SetRoot(id); err != nil {
-		t.Fatal(err)
-	}
-	cs, err := tx.seal()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if cs == nil {
-		t.Fatal("free+restage transaction harvested as a no-op")
-	}
-	for _, fid := range cs.frees {
-		if fid == id {
-			t.Fatal("re-staged page still in the commit's free set")
-		}
-	}
-	if err := st.CommitPages(cs.writes, cs.root, cs.frees); err != nil {
-		t.Fatal(err)
-	}
-	io.promoteTxn(cs, tx.staged)
-
-	// The re-staged page must be live in the store, not freed at commit.
-	if _, err := st.ReadPage(id); err != nil {
-		t.Fatalf("re-staged page gone from store after commit: %v", err)
-	}
-	io.invalidate() // force the read back through the store
-	n, err := io.Read(id)
-	if err != nil {
-		t.Fatalf("read of re-staged page: %v", err)
-	}
-	if !bytes.Equal(n.Values[0], []byte("v2")) {
-		t.Fatalf("re-staged page holds %q, want v2", n.Values[0])
-	}
-}
-
-// TestNodeIOAllocClosed pins Alloc's error propagation: a closed store must
-// refuse to hand out page IDs instead of silently minting them.
-func TestNodeIOAllocClosed(t *testing.T) {
-	st := store.NewMem()
-	io := newNodeIO(st, cipher.Plaintext{}, 4)
-	if _, err := io.Alloc(); err != nil {
-		t.Fatalf("Alloc on open store: %v", err)
-	}
-	st.Close()
-	if _, err := io.Alloc(); !errors.Is(err, store.ErrClosed) {
-		t.Fatalf("Alloc on closed store = %v, want store.ErrClosed", err)
-	}
-}
-
-// TestClockEvictionSecondChance pins the clock policy: with a full ring, a
-// recently-referenced page survives the sweep and the cold page goes.
-func TestClockEvictionSecondChance(t *testing.T) {
-	st := store.NewMem()
-	defer st.Close()
-	io := newNodeIO(st, cipher.Plaintext{}, 2)
-	write := func(id uint64) {
-		n := &node.Node{Leaf: true, Keys: [][]byte{{byte(id)}}, Values: [][]byte{{byte(id)}}}
-		if err := io.Write(id, n); err != nil {
-			t.Fatal(err)
-		}
-	}
-	inCache := func(id uint64) bool {
-		io.mu.Lock()
-		defer io.mu.Unlock()
-		_, ok := io.cacheIdx[id]
-		return ok
-	}
-	write(1)
-	write(2) // ring full: [1, 2], both ref'd from insert? inserts start unref'd
-	// Touch 1 so it holds a second chance; 2 stays cold.
-	if _, err := io.Read(1); err != nil {
-		t.Fatal(err)
-	}
-	write(3) // clock must clear 1's ref bit or evict 2 — never evict 1 first
-	if !inCache(1) {
-		t.Fatal("clock evicted the recently-referenced page")
-	}
-	if inCache(2) {
-		t.Fatal("cold page survived while the ring is full")
-	}
-	if !inCache(3) {
-		t.Fatal("new page not cached")
-	}
-	cs := io.cacheStats()
-	if cs.Evictions != 1 {
-		t.Fatalf("Evictions = %d, want 1", cs.Evictions)
-	}
-	if cs.Pages != 2 {
-		t.Fatalf("Pages = %d, want 2", cs.Pages)
-	}
-}
 
 // TestCacheStatsCounters pins hit/miss accounting end to end through the
 // façade Stats surface.
@@ -152,8 +28,10 @@ func TestCacheStatsCounters(t *testing.T) {
 	if s1.Cache.Evictions == 0 {
 		t.Error("no evictions recorded though the tree far exceeds the cache")
 	}
-	if s1.Cache.Pages > 4 {
-		t.Errorf("Pages = %d exceeds the configured capacity 4", s1.Cache.Pages)
+	// CachePages caps each shard's cache; the aggregated Pages figure sums
+	// them (s1.Shards is 1 except under the EKBTREE_SHARDS matrix).
+	if s1.Cache.Pages > 4*s1.Shards {
+		t.Errorf("Pages = %d exceeds capacity 4 x %d shards", s1.Cache.Pages, s1.Shards)
 	}
 	// Hammer one key: the path pins itself in the cache and hits accumulate.
 	for i := 0; i < 10; i++ {

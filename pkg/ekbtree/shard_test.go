@@ -1,0 +1,335 @@
+package ekbtree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestShardedRoundTripAcrossReopen is the end-to-end sharded persistence
+// test: a 4-shard file-backed tree survives close and reopen with identical
+// content, the merged cursor yields one globally ordered stream, every shard
+// actually holds data, and the on-disk layout is the documented per-shard
+// one (Path itself is never created).
+func TestShardedRoundTripAcrossReopen(t *testing.T) {
+	master := bytes.Repeat([]byte{0x51}, 32)
+	path := filepath.Join(t.TempDir(), "tree.ekb")
+	opts := Options{MasterKey: master, Order: 8, Path: path, Shards: 4}
+
+	tr, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("key-%03d", i)), []byte(fmt.Sprintf("val-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A batch spanning shards, so the fan-out path feeds the persisted state.
+	b := tr.NewBatch()
+	for i := 0; i < 100; i += 2 {
+		if err := b.Delete([]byte(fmt.Sprintf("key-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want := scanAll(t, tr)
+	st, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 4 {
+		t.Fatalf("Stats.Shards = %d, want 4", st.Shards)
+	}
+	if st.Keys != len(want) {
+		t.Fatalf("Stats.Keys = %d, want %d", st.Keys, len(want))
+	}
+	// 400 HMAC-substituted keys over 4 shards: every shard holds some.
+	for i, g := range tr.shards {
+		s, err := g.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Keys == 0 {
+			t.Errorf("shard %d is empty after 400 routed puts", i)
+		}
+	}
+	// The merged cursor is one globally ordered stream.
+	var prev []byte
+	c := tr.Cursor()
+	for ok := c.First(); ok; ok = c.Next() {
+		if prev != nil && bytes.Compare(c.Key(), prev) <= 0 {
+			t.Fatalf("merged cursor out of order: %x after %x", c.Key(), prev)
+		}
+		prev = append(prev[:0], c.Key()...)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("sharded tree created %s itself; want only per-shard files", path)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := os.Stat(shardPath(path, i, 4)); err != nil {
+			t.Errorf("shard file %d missing: %v", i, err)
+		}
+	}
+
+	re, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := scanAll(t, re); !reflect.DeepEqual(got, want) {
+		t.Fatalf("reopened sharded tree has %d entries, want %d", len(got), len(want))
+	}
+	if v, ok, err := re.Get([]byte("key-151")); err != nil || !ok || string(v) != "val-151" {
+		t.Fatalf("reopened Get = (%q, %v, %v)", v, ok, err)
+	}
+}
+
+// TestShardedReopenShardCountMismatch: a tree's shard count is sealed into
+// its layout and headers, so reopening with any other count fails closed
+// with ErrConfigMismatch in every direction — N -> M (header), N -> 1 and
+// 1 -> N (layout guard; those pairs use disjoint file names).
+func TestShardedReopenShardCountMismatch(t *testing.T) {
+	master := bytes.Repeat([]byte{0x52}, 32)
+	path := filepath.Join(t.TempDir(), "tree.ekb")
+	tr, err := Open(Options{MasterKey: master, Order: 8, Path: path, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, wrong := range []int{2, 4, 1} {
+		if _, err := Open(Options{MasterKey: master, Order: 8, Path: path, Shards: wrong}); !errors.Is(err, ErrConfigMismatch) {
+			t.Errorf("reopen of a 3-shard tree with Shards=%d = %v, want ErrConfigMismatch", wrong, err)
+		}
+	}
+
+	// The other direction: a single-shard file refuses a sharded open.
+	single := filepath.Join(t.TempDir(), "single.ekb")
+	s, err := Open(Options{MasterKey: master, Order: 8, Path: single, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{MasterKey: master, Order: 8, Path: single, Shards: 3}); !errors.Is(err, ErrConfigMismatch) {
+		t.Errorf("sharded reopen of a single-shard file = %v, want ErrConfigMismatch", err)
+	}
+
+	// The failed opens disturbed nothing: the right counts still work.
+	re, err := Open(Options{MasterKey: master, Order: 8, Path: path, Shards: 3})
+	if err != nil {
+		t.Fatalf("reopen with the sealed shard count: %v", err)
+	}
+	if st, err := re.Stats(); err != nil || st.Keys != 50 {
+		t.Fatalf("reopened stats = (%+v, %v), want 50 keys", st, err)
+	}
+	re.Close()
+	rs, err := Open(Options{MasterKey: master, Order: 8, Path: single, Shards: 1})
+	if err != nil {
+		t.Fatalf("single-shard reopen: %v", err)
+	}
+	rs.Close()
+}
+
+// TestShardFileNotInterchangeable: shard files seal their own index, so one
+// shard's file cannot stand in for another's even within the same layout.
+func TestShardFileNotInterchangeable(t *testing.T) {
+	master := bytes.Repeat([]byte{0x53}, 32)
+	path := filepath.Join(t.TempDir(), "tree.ekb")
+	tr, err := Open(Options{MasterKey: master, Order: 8, Path: path, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Swap the two shard files.
+	p0, p1 := shardPath(path, 0, 2), shardPath(path, 1, 2)
+	tmp := p0 + ".tmp"
+	for _, mv := range [][2]string{{p0, tmp}, {p1, p0}, {tmp, p1}} {
+		if err := os.Rename(mv[0], mv[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Open(Options{MasterKey: master, Order: 8, Path: path, Shards: 2}); !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("open with swapped shard files = %v, want ErrConfigMismatch", err)
+	}
+}
+
+// TestCursorMaxEpochAge pins the snapshot-age cap: a cursor whose snapshot
+// has fallen more than MaxEpochAge commits behind fails its next positioning
+// call with ErrSnapshotTooOld, while fresher cursors, Gets, and newly opened
+// cursors are untouched.
+func TestCursorMaxEpochAge(t *testing.T) {
+	tr := mustOpen(t, Options{MasterKey: bytes.Repeat([]byte{0x54}, 32), Order: 8, Shards: 1, MaxEpochAge: 2})
+	defer tr.Close()
+	for i := 0; i < 10; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c := tr.Cursor()
+	defer c.Close()
+	if !c.First() {
+		t.Fatalf("First on a fresh cursor = false (err %v)", c.Err())
+	}
+	// Exactly MaxEpochAge commits behind is still within the bound.
+	for i := 0; i < 2; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("age-%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Next() {
+		t.Fatalf("Next at age == MaxEpochAge = false (err %v)", c.Err())
+	}
+	// One more commit pushes the snapshot past the bound.
+	if err := tr.Put([]byte("age-2"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Next() {
+		t.Fatal("Next past MaxEpochAge succeeded")
+	}
+	if err := c.Err(); !errors.Is(err, ErrSnapshotTooOld) {
+		t.Fatalf("stale cursor Err = %v, want ErrSnapshotTooOld", err)
+	}
+	if c.First() {
+		t.Fatal("First on a stale cursor succeeded")
+	}
+
+	// Unrelated reads are unaffected, and a fresh cursor starts at age zero.
+	if _, ok, err := tr.Get([]byte("k00")); err != nil || !ok {
+		t.Fatalf("Get beside a stale cursor = (%v, %v)", ok, err)
+	}
+	c2 := tr.Cursor()
+	defer c2.Close()
+	n := 0
+	for ok := c2.First(); ok; ok = c2.Next() {
+		n++
+	}
+	if err := c2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 13 {
+		t.Fatalf("fresh cursor visited %d entries, want 13", n)
+	}
+}
+
+// TestCursorMaxEpochAgeSharded: with multiple shards the bound applies per
+// shard snapshot — enough single-key commits age SOME shard past the cap,
+// and the merged cursor reports it.
+func TestCursorMaxEpochAgeSharded(t *testing.T) {
+	tr := mustOpen(t, Options{MasterKey: bytes.Repeat([]byte{0x55}, 32), Order: 8, Shards: 3, MaxEpochAge: 1})
+	defer tr.Close()
+	if err := tr.Put([]byte("seed"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	c := tr.Cursor()
+	defer c.Close()
+	if !c.First() {
+		t.Fatalf("First on a fresh cursor = false (err %v)", c.Err())
+	}
+	// 10 routed commits guarantee some shard publishes more than once.
+	for i := 0; i < 10; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("age-%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Next(); !errors.Is(c.Err(), ErrSnapshotTooOld) {
+		t.Fatalf("stale sharded cursor Err = %v, want ErrSnapshotTooOld", c.Err())
+	}
+}
+
+func TestNegativeMaxEpochAgeInvalid(t *testing.T) {
+	_, err := Open(Options{MasterKey: bytes.Repeat([]byte{0x56}, 32), MaxEpochAge: -1})
+	if !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("Open with negative MaxEpochAge = %v, want ErrInvalidOptions", err)
+	}
+}
+
+func TestShardsOptionValidation(t *testing.T) {
+	master := bytes.Repeat([]byte{0x57}, 32)
+	if _, err := Open(Options{MasterKey: master, Shards: -1}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("Open with negative Shards = %v, want ErrInvalidOptions", err)
+	}
+	if _, err := Open(Options{MasterKey: master, Shards: 2, Store: NewMemStore()}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("Open with Shards=2 and a single Store = %v, want ErrInvalidOptions", err)
+	}
+}
+
+// TestShardedBatchSpansShards: one batch whose keys route to several shards
+// commits through the parallel fan-out and lands completely; Stats counts
+// one commit per shard touched.
+func TestShardedBatchSpansShards(t *testing.T) {
+	tr := mustOpen(t, Options{MasterKey: bytes.Repeat([]byte{0x58}, 32), Order: 8, Shards: 4})
+	defer tr.Close()
+	b := tr.NewBatch()
+	for i := 0; i < 200; i++ {
+		if err := b.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Keys != 200 {
+		t.Fatalf("Stats.Keys = %d after a 200-key batch, want 200", st.Keys)
+	}
+	touched := 0
+	for _, g := range tr.shards {
+		s, err := g.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Keys > 0 {
+			touched++
+			if s.Commits != 1 {
+				t.Errorf("shard with %d keys recorded %d commits, want exactly 1 for its batch slice", s.Keys, s.Commits)
+			}
+		}
+	}
+	if touched < 2 {
+		t.Fatalf("200 HMAC keys landed on %d shard(s); the batch never spanned shards", touched)
+	}
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		if v, ok, err := tr.Get([]byte(k)); err != nil || !ok || string(v) != "v"+k[1:] {
+			t.Fatalf("Get(%s) = (%q, %v, %v) after batch fan-out", k, v, ok, err)
+		}
+	}
+}

@@ -16,6 +16,10 @@ type statsJSON struct {
 	Commits   uint64         `json:"commits"`
 	Conflicts uint64         `json:"conflicts"`
 	Retries   uint64         `json:"retries"`
+	// Shards is omitted when zero (a hand-built Stats value); a live tree
+	// always reports >= 1. Pre-sharding parsers that don't know the field
+	// simply ignore it.
+	Shards int `json:"shards,omitempty"`
 }
 
 type cacheStatsJSON struct {
@@ -34,6 +38,7 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 			Evictions: s.Cache.Evictions, Pages: s.Cache.Pages,
 		},
 		Commits: s.Commits, Conflicts: s.Conflicts, Retries: s.Retries,
+		Shards: s.Shards,
 	})
 }
 
@@ -52,16 +57,21 @@ func (s *Stats) UnmarshalJSON(b []byte) error {
 			Evictions: j.Cache.Evictions, Pages: j.Cache.Pages,
 		},
 		Commits: j.Commits, Conflicts: j.Conflicts, Retries: j.Retries,
+		Shards: j.Shards,
 	}
 	return nil
 }
 
 // String renders the stats in a compact single-line human-readable form.
 func (s Stats) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"keys=%d nodes=%d height=%d cache{hits=%d misses=%d evictions=%d pages=%d} commits=%d conflicts=%d retries=%d",
 		s.Keys, s.Nodes, s.Height,
 		s.Cache.Hits, s.Cache.Misses, s.Cache.Evictions, s.Cache.Pages,
 		s.Commits, s.Conflicts, s.Retries,
 	)
+	if s.Shards > 1 {
+		out += fmt.Sprintf(" shards=%d", s.Shards)
+	}
+	return out
 }

@@ -60,6 +60,46 @@ func TestStatsJSONFromLiveTree(t *testing.T) {
 	}
 }
 
+// TestStatsJSONShardedRoundTrip pins the sharded aggregation through the
+// JSON codec: a 4-shard tree reports summed counters, Shards=4 appears on
+// the wire, and the whole struct survives the round trip.
+func TestStatsJSONShardedRoundTrip(t *testing.T) {
+	tr := mustOpen(t, Options{MasterKey: bytes.Repeat([]byte{0x32}, 32), Shards: 4})
+	defer tr.Close()
+	for i := 0; i < 64; i++ {
+		if err := tr.Put([]byte{byte(i)}, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Shards != 4 {
+		t.Fatalf("Stats.Shards = %d, want 4", want.Shards)
+	}
+	if want.Keys != 64 {
+		t.Fatalf("sharded Stats.Keys = %d, want the sum 64", want.Keys)
+	}
+	if want.Commits < 64 {
+		t.Fatalf("sharded Stats.Commits = %d, want >= 64 (summed across shards)", want.Commits)
+	}
+	b, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"shards":4`) {
+		t.Errorf("marshaled sharded stats %s missing \"shards\":4", b)
+	}
+	var got Stats
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("sharded round trip: got %+v, want %+v", got, want)
+	}
+}
+
 func TestStatsString(t *testing.T) {
 	s := Stats{Keys: 1, Nodes: 2, Height: 3, Commits: 4}
 	str := s.String()

@@ -40,6 +40,10 @@ const (
 	// CodeInternal: the engine failed the operation; the message carries
 	// detail.
 	CodeInternal ErrCode = 8
+	// CodeSnapshotTooOld: the cursor's pinned snapshot aged past the
+	// server's epoch-age bound. The cursor is gone; the client should
+	// reopen one and restart (or resume from the last key it saw).
+	CodeSnapshotTooOld ErrCode = 9
 )
 
 // String names the code.
@@ -61,6 +65,8 @@ func (c ErrCode) String() string {
 		return "cursor limit"
 	case CodeInternal:
 		return "internal error"
+	case CodeSnapshotTooOld:
+		return "snapshot too old"
 	default:
 		return fmt.Sprintf("error code %d", uint64(c))
 	}

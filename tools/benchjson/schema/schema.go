@@ -19,6 +19,9 @@ type Result struct {
 	// client concurrency); empty for microbenchmarks.
 	Mix   string `json:"mix,omitempty"`
 	Conns int    `json:"conns,omitempty"`
+	// Shards is the tree's range-shard count for runs that sweep it
+	// (ekbtree-bench -shards, sharded microbenchmarks); 0 when not recorded.
+	Shards int `json:"shards,omitempty"`
 
 	Iters       int64   `json:"iters"`
 	NsPerOp     float64 `json:"ns_per_op"`
