@@ -145,7 +145,16 @@ func fatalf(format string, args ...any) {
 }
 
 func dialAuthed(cfg benchConfig) (*wire.Client, error) {
-	c, err := wire.Dial(cfg.addr, 5*time.Second)
+	// Retried dial absorbs the races of pointing the driver at a server
+	// still binding its listener; generous I/O deadlines turn a hung server
+	// into a measurable failure rather than a silently stuck worker.
+	c, err := wire.DialWithConfig(cfg.addr, wire.DialConfig{
+		DialTimeout:  5 * time.Second,
+		DialRetries:  4,
+		RetryBackoff: 100 * time.Millisecond,
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	})
 	if err != nil {
 		return nil, err
 	}

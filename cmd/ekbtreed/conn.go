@@ -406,6 +406,8 @@ func encodeEngineErr(err error) []byte {
 		return wire.EncodeErr(wire.CodeTooLarge, err.Error())
 	case errors.Is(err, ekbtree.ErrSnapshotTooOld):
 		return wire.EncodeErr(wire.CodeSnapshotTooOld, err.Error())
+	case errors.Is(err, ekbtree.ErrSealsExhausted):
+		return wire.EncodeErr(wire.CodeSealsExhausted, err.Error())
 	case errors.Is(err, ekbtree.ErrClosed):
 		return wire.EncodeErr(wire.CodeDraining, "tree is closed (server draining)")
 	default:

@@ -44,6 +44,7 @@ func main() {
 		groupWindow  = flag.Duration("group-window", 0, "grouped-durability flush window (0 = store default)")
 		shards       = flag.Int("shards", 1, "range-shard every tenant tree across N engines (sealed into the tenant's files on first open)")
 		maxEpochAge  = flag.Int("max-epoch-age", 0, "fail cursors whose snapshot fell more than N commits behind (0 = unbounded)")
+		sealBudget   = flag.Int64("seal-budget", 0, "per-epoch page-seal budget per shard before the cipher key epoch rotates (0 = library default, negative = disable rotation)")
 		maxConns     = flag.Int("max-conns", 1024, "maximum concurrent connections (0 = unlimited)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "how long a drain waits for in-flight work")
 		provision    = flag.String("provision", "", "provision tenant NAME into -tenants and exit")
@@ -74,7 +75,7 @@ func main() {
 	if *maxEpochAge < 0 {
 		log.Fatalf("-max-epoch-age %d must be >= 0", *maxEpochAge)
 	}
-	cfg := treeConfig{groupWindow: *groupWindow, shards: *shards, maxEpochAge: *maxEpochAge}
+	cfg := treeConfig{groupWindow: *groupWindow, shards: *shards, maxEpochAge: *maxEpochAge, sealBudget: *sealBudget}
 	switch *durability {
 	case "full":
 		cfg.durability = ekbtree.DurabilityFull

@@ -42,6 +42,14 @@ type treeConfig struct {
 	// fall behind before their next read fails with CodeSnapshotTooOld;
 	// 0 = unbounded.
 	maxEpochAge int
+	// sealBudget is the per-epoch page-seal budget per shard before the
+	// cipher key epoch rotates; 0 = library default, negative disables
+	// rotation (writes fail closed with CodeSealsExhausted at the hard
+	// bound).
+	sealBudget int64
+	// sealHardLimit is the per-epoch fail-closed seal bound; 0 = library
+	// default. Exposed for tests that force exhaustion quickly.
+	sealHardLimit uint64
 }
 
 // tenant is one provisioned namespace: its derived material and its lazily
@@ -63,10 +71,12 @@ func (t *tenant) openTree(dir string, cfg treeConfig) (*ekbtree.Tree, error) {
 		return t.tree, nil
 	}
 	base := ekbtree.Options{
-		Path:        filepath.Join(dir, t.name+".ekbt"),
-		Durability:  cfg.durability,
-		Shards:      cfg.shards,
-		MaxEpochAge: cfg.maxEpochAge,
+		Path:          filepath.Join(dir, t.name+".ekbt"),
+		Durability:    cfg.durability,
+		Shards:        cfg.shards,
+		MaxEpochAge:   cfg.maxEpochAge,
+		SealBudget:    cfg.sealBudget,
+		SealHardLimit: cfg.sealHardLimit,
 	}
 	if cfg.durability == ekbtree.DurabilityGrouped {
 		base.GroupWindow = cfg.groupWindow
@@ -221,6 +231,45 @@ func provisionTenant(tenantsPath, name, masterHex string) error {
 	if err != nil {
 		return err
 	}
-	// The file holds live key material: owner-only permissions.
-	return os.WriteFile(tenantsPath, append(out, '\n'), 0o600)
+	return writeFileAtomic(tenantsPath, append(out, '\n'))
+}
+
+// writeFileAtomic replaces path's contents via a same-directory temp file,
+// fsync, and rename, so a crash mid-provision leaves either the old tenants
+// file or the new one — never a truncated or interleaved mix that would strand
+// every tenant at the next server start. The file holds live key material:
+// owner-only permissions from creation, never widened.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op once the rename lands
+	if err := tmp.Chmod(0o600); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Make the rename itself durable; without the directory fsync the old
+	// name can outlive a crash even after the data hit the platter.
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }

@@ -10,10 +10,13 @@ package cipher
 import (
 	stdaes "crypto/aes"
 	stdcipher "crypto/cipher"
+	"crypto/hkdf"
 	"crypto/rand"
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrOpen is returned when a sealed page fails authentication or is
@@ -91,6 +94,162 @@ func (c *AESGCM) Open(pageID uint64, sealed []byte) ([]byte, error) {
 func (c *AESGCM) Overhead() int { return c.aead.NonceSize() + c.aead.Overhead() }
 
 func (c *AESGCM) Name() string { return "aes-gcm" }
+
+// EpochSealer is the optional NodeCipher extension for key-epoch schemes with
+// caller-supplied nonces. The engine type-asserts for it: when present, every
+// node page is sealed via SealEpoch with an engine-allocated (epoch, counter)
+// pair — collision-free by construction — instead of Seal's scheme-chosen
+// nonce, and budgets/rotation apply. Plain NodeCipher implementations keep the
+// legacy behavior (no budgets, no epochs).
+type EpochSealer interface {
+	NodeCipher
+	// SealEpoch enciphers plaintext under key epoch's derived key using the
+	// deterministic nonce epoch(32-bit big-endian) || counter(64-bit
+	// big-endian). The caller must never reuse an (epoch, counter) pair.
+	SealEpoch(pageID uint64, epoch uint32, counter uint64, plaintext []byte) ([]byte, error)
+	// SealedEpoch reports the key epoch a sealed page was produced under
+	// (readable from the nonce prefix without deciphering), or false if the
+	// buffer is too short to carry one.
+	SealedEpoch(sealed []byte) (uint32, bool)
+}
+
+// EpochAESGCM seals pages with AES-256-GCM under per-epoch HKDF-derived keys
+// and caller-supplied counter nonces: nonce = epoch(4B BE) || counter(8B BE),
+// so every seal in the tree's lifetime uses a distinct nonce as long as the
+// engine never reissues a counter (a durable high-water mark guarantees that
+// across crash and reopen). The sealed layout is the same nonce || ct+tag as
+// AESGCM — the epoch rides in the nonce prefix, costing no extra bytes — and
+// the big-endian page ID remains the associated data.
+//
+// Page ID 0 (the façade's header/meta page) is sealed with the RAW subkey and
+// a random nonce, byte-identical to legacy AESGCM: the header must be
+// decipherable before any epoch state is known, and a legacy file opened with
+// this cipher then fails closed with an honest config mismatch (the header
+// deciphers but records scheme "aes-gcm", not "aes-gcm-ctr") rather than a
+// spurious wrong-key error.
+type EpochAESGCM struct {
+	key []byte         // cipher subkey; HKDF secret for per-epoch keys
+	raw stdcipher.AEAD // raw-subkey AEAD for the page-0 header path
+
+	mu    sync.RWMutex
+	aeads map[uint32]stdcipher.AEAD // derived per-epoch AEADs, built on demand
+}
+
+// NewEpochAESGCM returns an epoch-keyed AES-GCM node cipher. The key must be
+// 16, 24, or 32 bytes; per-epoch keys are always 32-byte HKDF-SHA256 outputs.
+func NewEpochAESGCM(key []byte) (*EpochAESGCM, error) {
+	block, err := stdaes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("cipher: %w", err)
+	}
+	raw, err := stdcipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("cipher: %w", err)
+	}
+	return &EpochAESGCM{
+		key:   append([]byte(nil), key...),
+		raw:   raw,
+		aeads: make(map[uint32]stdcipher.AEAD),
+	}, nil
+}
+
+// epochAEAD returns the AEAD for one key epoch, deriving and caching it on
+// first use. Derivation is HKDF-SHA256(subkey, info="ekbtree/cipher/epoch/<e>")
+// to a 32-byte AES-256 key — epochs are computationally independent, so
+// exhausting one epoch's nonce space says nothing about another's.
+func (c *EpochAESGCM) epochAEAD(epoch uint32) (stdcipher.AEAD, error) {
+	c.mu.RLock()
+	aead, ok := c.aeads[epoch]
+	c.mu.RUnlock()
+	if ok {
+		return aead, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if aead, ok := c.aeads[epoch]; ok {
+		return aead, nil
+	}
+	ek, err := hkdf.Key(sha256.New, c.key, nil, fmt.Sprintf("ekbtree/cipher/epoch/%d", epoch), 32)
+	if err != nil {
+		return nil, fmt.Errorf("cipher: epoch key: %w", err)
+	}
+	block, err := stdaes.NewCipher(ek)
+	if err != nil {
+		return nil, fmt.Errorf("cipher: %w", err)
+	}
+	aead, err = stdcipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("cipher: %w", err)
+	}
+	c.aeads[epoch] = aead
+	return aead, nil
+}
+
+// Seal handles only page 0 (the header path, raw key + random nonce). Node
+// pages must go through SealEpoch; sealing one here would silently burn the
+// collision-free guarantee, so it is refused outright.
+func (c *EpochAESGCM) Seal(pageID uint64, plaintext []byte) ([]byte, error) {
+	if pageID != 0 {
+		return nil, fmt.Errorf("cipher: epoch cipher requires SealEpoch for page %d", pageID)
+	}
+	nonceSize := c.raw.NonceSize()
+	out := make([]byte, nonceSize, nonceSize+len(plaintext)+c.raw.Overhead())
+	if _, err := rand.Read(out[:nonceSize]); err != nil {
+		return nil, fmt.Errorf("cipher: nonce: %w", err)
+	}
+	return c.raw.Seal(out, out[:nonceSize], plaintext, pageAAD(pageID)), nil
+}
+
+func (c *EpochAESGCM) SealEpoch(pageID uint64, epoch uint32, counter uint64, plaintext []byte) ([]byte, error) {
+	aead, err := c.epochAEAD(epoch)
+	if err != nil {
+		return nil, err
+	}
+	nonceSize := aead.NonceSize()
+	out := make([]byte, nonceSize, nonceSize+len(plaintext)+aead.Overhead())
+	binary.BigEndian.PutUint32(out[:4], epoch)
+	binary.BigEndian.PutUint64(out[4:nonceSize], counter)
+	return aead.Seal(out, out[:nonceSize], plaintext, pageAAD(pageID)), nil
+}
+
+func (c *EpochAESGCM) Open(pageID uint64, sealed []byte) ([]byte, error) {
+	if pageID == 0 {
+		nonceSize := c.raw.NonceSize()
+		if len(sealed) < nonceSize+c.raw.Overhead() {
+			return nil, ErrOpen
+		}
+		pt, err := c.raw.Open(nil, sealed[:nonceSize], sealed[nonceSize:], pageAAD(pageID))
+		if err != nil {
+			return nil, ErrOpen
+		}
+		return pt, nil
+	}
+	epoch, ok := c.SealedEpoch(sealed)
+	if !ok {
+		return nil, ErrOpen
+	}
+	aead, err := c.epochAEAD(epoch)
+	if err != nil {
+		return nil, err
+	}
+	nonceSize := aead.NonceSize()
+	pt, err := aead.Open(nil, sealed[:nonceSize], sealed[nonceSize:], pageAAD(pageID))
+	if err != nil {
+		return nil, ErrOpen
+	}
+	return pt, nil
+}
+
+func (c *EpochAESGCM) SealedEpoch(sealed []byte) (uint32, bool) {
+	if len(sealed) < c.Overhead() {
+		return 0, false
+	}
+	return binary.BigEndian.Uint32(sealed[:4]), true
+}
+
+func (c *EpochAESGCM) Overhead() int { return c.raw.NonceSize() + c.raw.Overhead() }
+
+func (c *EpochAESGCM) Name() string { return "aes-gcm-ctr" }
 
 // Plaintext is a pass-through cipher for tests and debugging. It provides no
 // confidentiality or integrity and must never be used in production.

@@ -30,6 +30,8 @@ type group struct {
 	root     uint64
 	meta     []byte
 	setMeta  bool
+	mark     store.SealMark
+	setMark  bool
 	count    int       // commits coalesced into this group
 	bytes    int       // payload size, for backpressure
 	birth    time.Time // first enqueue, anchors the Grouped window
@@ -49,7 +51,7 @@ type flushResult struct {
 // enqueueLocked merges one commit into the pending group, creating it if this
 // is the first commit since the last take. The caller holds s.mu and has
 // already checked closed/failed and validated the request.
-func (s *Store) enqueueLocked(writes map[uint64][]byte, root uint64, frees []uint64, meta []byte, setMeta bool) *flushResult {
+func (s *Store) enqueueLocked(writes map[uint64][]byte, root uint64, frees []uint64, meta []byte, setMeta bool, mark *store.SealMark) *flushResult {
 	g := s.pending
 	if g == nil {
 		g = &group{
@@ -89,6 +91,10 @@ func (s *Store) enqueueLocked(writes map[uint64][]byte, root uint64, frees []uin
 	if setMeta {
 		s.ameta = append([]byte(nil), meta...)
 		g.meta, g.setMeta = s.ameta, true
+	}
+	if mark != nil {
+		s.amark = *mark
+		g.mark, g.setMark = *mark, true
 	}
 	if s.cfg.Durability == Async && g.bytes >= s.cfg.maxUnflushed() {
 		// Nothing else flushes an Async store, so an over-bound group starts
@@ -156,7 +162,7 @@ func (s *Store) failedErrLocked() error {
 // commit is the single mutation entry point: wait for pending-group
 // capacity, validate, enqueue, wake the committer, and wait according to the
 // durability mode.
-func (s *Store) commit(writes map[uint64][]byte, root uint64, frees []uint64, meta []byte, setMeta bool) error {
+func (s *Store) commit(writes map[uint64][]byte, root uint64, frees []uint64, meta []byte, setMeta bool, mark *store.SealMark) error {
 	s.mu.Lock()
 	s.waitCapacityLocked()
 	if s.closed {
@@ -167,7 +173,7 @@ func (s *Store) commit(writes map[uint64][]byte, root uint64, frees []uint64, me
 		defer s.mu.Unlock()
 		return s.failedErrLocked()
 	}
-	res := s.enqueueLocked(writes, root, frees, meta, setMeta)
+	res := s.enqueueLocked(writes, root, frees, meta, setMeta, mark)
 	return s.finish(res)
 }
 
@@ -348,6 +354,7 @@ func (s *Store) drain() {
 			g.resolved = true
 		} else {
 			s.pages, s.free, s.meta, s.root = ns.pages, ns.free, ns.meta, ns.root
+			s.mark = ns.mark
 			s.txid, s.cur, s.dirExt, s.fileEnd = ns.txid, ns.cur, ns.dirExt, ns.fileEnd
 			s.flushing = nil
 		}
@@ -366,6 +373,7 @@ type durableState struct {
 	pages   map[uint64]extent
 	free    []extent
 	meta    []byte
+	mark    store.SealMark
 	root    uint64
 	txid    uint64
 	cur     int
@@ -386,7 +394,7 @@ func (s *Store) flushGroup(g *group, nextID uint64) (durableState, error) {
 	for id, e := range s.pages {
 		newPages[id] = e
 	}
-	avail := append([]extent(nil), s.free...)
+	avail := newFreeIndex(s.free)
 	newEnd := s.fileEnd
 	var pending []extent // extents that become free once this flush is durable
 	for id := range g.frees {
@@ -399,7 +407,7 @@ func (s *Store) flushGroup(g *group, nextID uint64) (durableState, error) {
 		if e, ok := newPages[id]; ok {
 			pending = append(pending, e)
 		}
-		ext := allocExtent(&avail, &newEnd, uint32(len(page)))
+		ext := avail.allocExtent(&newEnd, uint32(len(page)))
 		if _, err := s.f.WriteAt(page, ext.off); err != nil {
 			return ns, fmt.Errorf("file: write page %d: %w", id, err)
 		}
@@ -409,16 +417,21 @@ func (s *Store) flushGroup(g *group, nextID uint64) (durableState, error) {
 	if g.setMeta {
 		newMeta = g.meta
 	}
+	newMark := s.mark
+	if g.setMark {
+		newMark = g.mark
+	}
 	// Size the new directory before allocating its extent: the allocation can
-	// only shrink the free list (remove or split an entry), so counting the
-	// current avail plus everything pending is an upper bound, and the blob is
-	// padded to the allocated size.
-	ubFree := len(avail) + len(pending)
+	// only shrink the free list (remove an entry, or split one — count
+	// unchanged), so counting the current avail plus everything pending is an
+	// upper bound, and the blob is padded to the allocated size.
+	ubFree := avail.len() + len(pending)
 	if s.dirExt.len > 0 {
 		ubFree++
 	}
-	dirExt := allocExtent(&avail, &newEnd, uint32(dirSize(len(newPages), ubFree, len(newMeta))))
-	newFree := append(append([]extent(nil), avail...), pending...)
+	dirExt := avail.allocExtent(&newEnd, uint32(dirSize(len(newPages), ubFree, len(newMeta))))
+	newFree := avail.appendTo(make([]extent, 0, ubFree))
+	newFree = append(newFree, pending...)
 	if s.dirExt.len > 0 {
 		newFree = append(newFree, s.dirExt) // the old directory's own extent
 	}
@@ -431,7 +444,7 @@ func (s *Store) flushGroup(g *group, nextID uint64) (durableState, error) {
 		newFree = newFree[:len(newFree)-1]
 	}
 	dir := make([]byte, dirExt.len)
-	serializeDir(dir, newPages, newFree, newMeta)
+	serializeDir(dir, newPages, newFree, newMeta, newMark)
 	if _, err := s.f.WriteAt(dir, dirExt.off); err != nil {
 		return ns, fmt.Errorf("file: write directory: %w", err)
 	}
@@ -460,7 +473,7 @@ func (s *Store) flushGroup(g *group, nextID uint64) (durableState, error) {
 		return ns, fmt.Errorf("file: sync meta slot (%w): %v", ErrFailed, err)
 	}
 	ns = durableState{
-		pages: newPages, free: newFree, meta: newMeta, root: g.root,
+		pages: newPages, free: newFree, meta: newMeta, mark: newMark, root: g.root,
 		txid: s.txid + 1, cur: 1 - s.cur, dirExt: dirExt, fileEnd: newEnd,
 	}
 	return ns, nil

@@ -61,6 +61,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math/bits"
 	"os"
 	"sort"
 	"sync"
@@ -200,6 +201,7 @@ const (
 	dataStart  = 512
 	pageEntLen = 20 // id(8) + off(8) + len(4)
 	freeEntLen = 12 // off(8) + len(4)
+	markLen    = 16 // seal mark: epoch(4) + clean(4) + counter(8)
 )
 
 // File is the random-access backing-file contract the store needs; *os.File
@@ -244,6 +246,7 @@ type Store struct {
 	pages   map[uint64]extent // logical page ID -> durable extent
 	free    []extent          // durably free extents, allocatable by the next flush
 	meta    []byte
+	mark    store.SealMark
 	root    uint64
 	txid    uint64
 	cur     int    // index (0/1) of the slot holding the durable state
@@ -255,6 +258,7 @@ type Store struct {
 	nextID   uint64
 	aroot    uint64
 	ameta    []byte
+	amark    store.SealMark
 	pending  *group // accumulating write-set, flushed next
 	flushing *group // write-set currently being flushed, nil when idle
 
@@ -389,7 +393,7 @@ func initialize(f File, cfg Config) (*Store, error) {
 		cur:    0,
 	}
 	dir := make([]byte, dirSize(0, 0, 0))
-	serializeDir(dir, s.pages, nil, nil)
+	serializeDir(dir, s.pages, nil, nil, store.SealMark{})
 	s.dirExt = extent{off: dataStart, len: uint32(len(dir))}
 	s.fileEnd = s.dirExt.end()
 	if _, err := f.WriteAt(dir, s.dirExt.off); err != nil {
@@ -428,7 +432,7 @@ func loadState(f File, sd slotData, idx int) (*Store, error) {
 	if crc32.ChecksumIEEE(dir) != sd.dirCRC {
 		return nil, fmt.Errorf("%w: directory checksum mismatch", ErrCorrupt)
 	}
-	pages, free, meta, err := parseDir(dir)
+	pages, free, meta, mark, err := parseDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -437,6 +441,7 @@ func loadState(f File, sd slotData, idx int) (*Store, error) {
 		pages:  pages,
 		free:   free,
 		meta:   meta,
+		mark:   mark,
 		root:   sd.root,
 		nextID: sd.nextID,
 		txid:   sd.txid,
@@ -466,6 +471,7 @@ func (s *Store) start(cfg Config) {
 	s.cfg = cfg
 	s.aroot = s.root
 	s.ameta = s.meta
+	s.amark = s.mark
 	s.kick = make(chan struct{}, 1)
 	s.stop = make(chan struct{})
 	s.done = make(chan struct{})
@@ -513,13 +519,16 @@ func serializeSlot(sd slotData) []byte {
 
 // dirSize returns the serialized directory size for the given entry counts.
 func dirSize(pageCount, freeCount, metaLen int) int {
-	return 4 + pageCount*pageEntLen + 4 + freeCount*freeEntLen + 4 + metaLen
+	return 4 + pageCount*pageEntLen + 4 + freeCount*freeEntLen + 4 + metaLen + markLen
 }
 
 // serializeDir writes the directory into buf, which may be longer than the
 // exact encoding; the tail stays zero (padding is covered by the CRC and
-// ignored by parseDir).
-func serializeDir(buf []byte, pages map[uint64]extent, free []extent, meta []byte) {
+// ignored by parseDir). The seal mark rides after the meta blob: directories
+// written before the mark existed end at the meta, and parseDir reads their
+// (absent) mark as zero — epoch 0, nothing reserved — which is exactly the
+// state such a file was written in.
+func serializeDir(buf []byte, pages map[uint64]extent, free []extent, meta []byte, mark store.SealMark) {
 	p := buf
 	binary.BigEndian.PutUint32(p, uint32(len(pages)))
 	p = p[4:]
@@ -538,17 +547,21 @@ func serializeDir(buf []byte, pages map[uint64]extent, free []extent, meta []byt
 	}
 	binary.BigEndian.PutUint32(p, uint32(len(meta)))
 	copy(p[4:], meta)
+	p = p[4+len(meta):]
+	binary.BigEndian.PutUint32(p[0:], mark.Epoch)
+	binary.BigEndian.PutUint32(p[4:], mark.Clean)
+	binary.BigEndian.PutUint64(p[8:], mark.Counter)
 }
 
-func parseDir(b []byte) (pages map[uint64]extent, free []extent, meta []byte, err error) {
+func parseDir(b []byte) (pages map[uint64]extent, free []extent, meta []byte, mark store.SealMark, err error) {
 	bad := func(what string) error { return fmt.Errorf("%w: directory %s", ErrCorrupt, what) }
 	if len(b) < 4 {
-		return nil, nil, nil, bad("truncated")
+		return nil, nil, nil, mark, bad("truncated")
 	}
 	pageCount := binary.BigEndian.Uint32(b)
 	b = b[4:]
 	if uint64(len(b)) < uint64(pageCount)*pageEntLen {
-		return nil, nil, nil, bad("page table truncated")
+		return nil, nil, nil, mark, bad("page table truncated")
 	}
 	pages = make(map[uint64]extent, pageCount)
 	for i := uint32(0); i < pageCount; i++ {
@@ -559,12 +572,12 @@ func parseDir(b []byte) (pages map[uint64]extent, free []extent, meta []byte, er
 		b = b[pageEntLen:]
 	}
 	if len(b) < 4 {
-		return nil, nil, nil, bad("truncated")
+		return nil, nil, nil, mark, bad("truncated")
 	}
 	freeCount := binary.BigEndian.Uint32(b)
 	b = b[4:]
 	if uint64(len(b)) < uint64(freeCount)*freeEntLen {
-		return nil, nil, nil, bad("free list truncated")
+		return nil, nil, nil, mark, bad("free list truncated")
 	}
 	free = make([]extent, 0, freeCount)
 	for i := uint32(0); i < freeCount; i++ {
@@ -575,40 +588,129 @@ func parseDir(b []byte) (pages map[uint64]extent, free []extent, meta []byte, er
 		b = b[freeEntLen:]
 	}
 	if len(b) < 4 {
-		return nil, nil, nil, bad("truncated")
+		return nil, nil, nil, mark, bad("truncated")
 	}
 	metaLen := binary.BigEndian.Uint32(b)
 	b = b[4:]
 	if uint64(len(b)) < uint64(metaLen) {
-		return nil, nil, nil, bad("meta truncated")
+		return nil, nil, nil, mark, bad("meta truncated")
 	}
 	meta = append([]byte(nil), b[:metaLen]...)
-	return pages, free, meta, nil
+	b = b[metaLen:]
+	// Pre-mark directories end here; zero padding decodes as the zero mark.
+	if len(b) >= markLen {
+		mark.Epoch = binary.BigEndian.Uint32(b[0:])
+		mark.Clean = binary.BigEndian.Uint32(b[4:])
+		mark.Counter = binary.BigEndian.Uint64(b[8:])
+	}
+	return pages, free, meta, mark, nil
 }
 
-// allocExtent carves n bytes out of the available free extents (best fit, so
-// the recycled extents a steady-state workload frees keep getting reused
-// exactly instead of fragmenting larger blocks) or extends the append
-// frontier.
-func allocExtent(avail *[]extent, end *int64, n uint32) extent {
+// freeIndex is a size-bucketed view of the free-extent list, built once per
+// flush. Bucket b holds extents whose length has bit-length b+1 (i.e. len in
+// [2^b, 2^(b+1))), so finding a fitting extent probes the request's own
+// bucket and then the first non-empty larger one, instead of best-fit
+// scanning the whole list per allocation (~7% of CPU under sustained ingest
+// before this existed). Within the request's own bucket the scan is still
+// best-fit, but candidates there are already within 2x of the request, so
+// fragmentation behavior matches the old scan where it mattered: steady-state
+// workloads keep reusing recycled same-size extents exactly.
+type freeIndex struct {
+	buckets  [32][]extent
+	n        int
+	nonEmpty uint32 // bit b set iff buckets[b] is non-empty
+}
+
+func bucketOf(n uint32) int {
+	if n == 0 {
+		return 0
+	}
+	return bits.Len32(n) - 1
+}
+
+func newFreeIndex(free []extent) *freeIndex {
+	fi := &freeIndex{}
+	for _, e := range free {
+		fi.add(e)
+	}
+	return fi
+}
+
+func (fi *freeIndex) add(e extent) {
+	if e.len == 0 {
+		return
+	}
+	b := bucketOf(e.len)
+	fi.buckets[b] = append(fi.buckets[b], e)
+	fi.nonEmpty |= 1 << b
+	fi.n++
+}
+
+// len returns the number of indexed extents.
+func (fi *freeIndex) len() int { return fi.n }
+
+// appendTo appends every remaining extent to dst, for rebuilding the
+// persistent free list after a flush's allocations.
+func (fi *freeIndex) appendTo(dst []extent) []extent {
+	for _, b := range fi.buckets {
+		dst = append(dst, b...)
+	}
+	return dst
+}
+
+// take removes and returns buckets[b][i].
+func (fi *freeIndex) take(b, i int) extent {
+	bk := fi.buckets[b]
+	e := bk[i]
+	bk[i] = bk[len(bk)-1]
+	fi.buckets[b] = bk[:len(bk)-1]
+	if len(fi.buckets[b]) == 0 {
+		fi.nonEmpty &^= 1 << b
+	}
+	fi.n--
+	return e
+}
+
+// alloc carves n bytes out of the indexed free extents, returning false if no
+// extent fits. An exact or near fit comes from the request's own bucket
+// (best-fit within it); otherwise the smallest non-empty larger bucket is
+// split, with the remainder re-indexed by its new size.
+func (fi *freeIndex) alloc(n uint32) (extent, bool) {
+	if n == 0 || fi.n == 0 {
+		return extent{}, false
+	}
+	b := bucketOf(n)
 	best := -1
-	for i, e := range *avail {
-		if e.len >= n && (best < 0 || e.len < (*avail)[best].len) {
+	for i, e := range fi.buckets[b] {
+		if e.len >= n && (best < 0 || e.len < fi.buckets[b][best].len) {
 			best = i
 			if e.len == n {
 				break
 			}
 		}
 	}
-	if best >= 0 {
-		e := (*avail)[best]
-		got := extent{off: e.off, len: n}
-		if e.len == n {
-			*avail = append((*avail)[:best], (*avail)[best+1:]...)
-		} else {
-			(*avail)[best] = extent{off: e.off + int64(n), len: e.len - n}
+	if best < 0 {
+		// Everything in bucket b is under n (or the bucket is empty): any
+		// extent in a larger bucket fits. Take from the smallest such bucket.
+		higher := fi.nonEmpty &^ (1<<(b+1) - 1)
+		if higher == 0 {
+			return extent{}, false
 		}
-		return got
+		b = bits.TrailingZeros32(higher)
+		best = 0
+	}
+	e := fi.take(b, best)
+	got := extent{off: e.off, len: n}
+	if e.len > n {
+		fi.add(extent{off: e.off + int64(n), len: e.len - n})
+	}
+	return got, true
+}
+
+// allocExtent carves n bytes out of the index or extends the append frontier.
+func (fi *freeIndex) allocExtent(end *int64, n uint32) extent {
+	if e, ok := fi.alloc(n); ok {
+		return e
 	}
 	got := extent{off: *end, len: n}
 	*end += int64(n)
@@ -665,7 +767,7 @@ func (s *Store) ReadPage(id uint64) ([]byte, error) {
 }
 
 func (s *Store) WritePage(id uint64, page []byte) error {
-	return s.commit(map[uint64][]byte{id: page}, rootUnchanged, nil, nil, false)
+	return s.commit(map[uint64][]byte{id: page}, rootUnchanged, nil, nil, false, nil)
 }
 
 func (s *Store) Alloc() (uint64, error) {
@@ -693,7 +795,7 @@ func (s *Store) Free(id uint64) error {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: page %d", store.ErrNotFound, id)
 	}
-	res := s.enqueueLocked(nil, s.aroot, []uint64{id}, nil, false)
+	res := s.enqueueLocked(nil, s.aroot, []uint64{id}, nil, false, nil)
 	return s.finish(res)
 }
 
@@ -723,7 +825,7 @@ func (s *Store) Root() (uint64, error) {
 }
 
 func (s *Store) SetRoot(id uint64) error {
-	return s.commit(nil, id, nil, nil, false)
+	return s.commit(nil, id, nil, nil, false, nil)
 }
 
 func (s *Store) Meta() ([]byte, error) {
@@ -736,11 +838,26 @@ func (s *Store) Meta() ([]byte, error) {
 }
 
 func (s *Store) SetMeta(meta []byte) error {
-	return s.commit(nil, rootUnchanged, nil, meta, true)
+	return s.commit(nil, rootUnchanged, nil, meta, true, nil)
+}
+
+// SealMark returns the applied cipher-lifecycle mark: a SetSealMark is
+// observable immediately, durable after Sync (like any commit).
+func (s *Store) SealMark() (store.SealMark, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return store.SealMark{}, store.ErrClosed
+	}
+	return s.amark, nil
+}
+
+func (s *Store) SetSealMark(mark store.SealMark) error {
+	return s.commit(nil, rootUnchanged, nil, nil, false, &mark)
 }
 
 func (s *Store) CommitPages(writes map[uint64][]byte, root uint64, frees []uint64) error {
-	return s.commit(writes, root, frees, nil, false)
+	return s.commit(writes, root, frees, nil, false, nil)
 }
 
 // Close flushes every outstanding group (so a clean shutdown is durable in

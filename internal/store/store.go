@@ -21,6 +21,27 @@ var ErrClosed = errors.New("store: closed")
 // Alloc are always > NoRoot.
 const NoRoot uint64 = 0
 
+// SealMark is the engine's durable cipher-lifecycle high-water mark: the
+// current key epoch and a PRE-RESERVED upper bound on the seal counters the
+// engine may have issued within it. The engine persists a mark with Counter
+// ahead of what it has actually used before sealing into the reservation, so
+// a reopened store — including after a crash that lost queued commits —
+// resumes strictly past every (epoch, counter) nonce that could have reached
+// the file, and never reissues one. A zero SealMark is what stores created
+// before epochs existed report: epoch 0, nothing reserved.
+type SealMark struct {
+	// Epoch is the current key epoch.
+	Epoch uint32
+	// Clean is the newest epoch the rotator has verified holds EVERY live
+	// page's seal (Clean == Epoch means no rotation work is pending). It only
+	// moves forward.
+	Clean uint32
+	// Counter is the reservation high-water mark within Epoch: counters in
+	// [0, Counter) may have been issued; the next reservation starts at
+	// Counter.
+	Counter uint64
+}
+
 // PageStore stores sealed pages. Implementations must be safe for concurrent
 // use: the engine above runs lock-free snapshot readers against the store
 // while commits are in flight, so ReadPage must be callable at any moment —
@@ -73,6 +94,15 @@ type PageStore interface {
 	// backend's group-commit pipeline does) without affecting the final
 	// state.
 	CommitPages(writes map[uint64][]byte, root uint64, frees []uint64) error
+	// SealMark returns the cipher-lifecycle mark last recorded by SetSealMark,
+	// or the zero mark if never set (including stores created before the mark
+	// existed).
+	SealMark() (SealMark, error)
+	// SetSealMark records the cipher-lifecycle mark, subject to the same
+	// durability mode as commits: Sync is the barrier that makes it durable.
+	// Marks ride the same commit pipeline as pages, so a crash yields some
+	// previously recorded mark, never a torn one.
+	SetSealMark(mark SealMark) error
 	// Sync blocks until every commit accepted before the call is durable.
 	// Stores whose commits are synchronously durable (or that have no
 	// durability at all, like the in-memory store) return immediately.
@@ -89,6 +119,7 @@ type Mem struct {
 	nextID uint64
 	root   uint64
 	meta   []byte
+	mark   SealMark
 	closed bool
 }
 
@@ -179,6 +210,25 @@ func (m *Mem) SetMeta(meta []byte) error {
 		return ErrClosed
 	}
 	m.meta = append([]byte(nil), meta...)
+	return nil
+}
+
+func (m *Mem) SealMark() (SealMark, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return SealMark{}, ErrClosed
+	}
+	return m.mark, nil
+}
+
+func (m *Mem) SetSealMark(mark SealMark) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.mark = mark
 	return nil
 }
 

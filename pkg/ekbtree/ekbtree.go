@@ -65,6 +65,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"github.com/paper-repro/ekbtree/internal/btree"
@@ -181,7 +182,34 @@ type Options struct {
 	// bound applies per shard snapshot. Zero means unbounded; negative is
 	// invalid.
 	MaxEpochAge int
+	// SealBudget is the soft per-epoch seal budget, PER SHARD: once a shard's
+	// key epoch has sealed this many pages, the next commit advances it to a
+	// fresh derived key and the background rotator re-seals the old epoch's
+	// pages. Zero means DefaultSealBudget; negative disables budget-driven
+	// rotation entirely — the epoch then advances only via AdvanceEpoch, and
+	// a shard that reaches the hard bound (see SealHardLimit) fails its
+	// writes closed with ErrSealsExhausted. Ignored when Cipher is set to a
+	// scheme without key epochs (e.g. NewAESGCMCipher).
+	SealBudget int64
+	// SealHardLimit is the per-epoch fail-closed seal bound, PER SHARD: a
+	// commit that would push the current epoch's counter past it fails with
+	// ErrSealsExhausted instead of risking nonce reuse. Zero means the
+	// engine default (2^32); values above 2^56 are clamped. Ignored for
+	// non-epoch ciphers.
+	SealHardLimit uint64
 }
+
+// DefaultSealBudget is the per-epoch seal budget when Options.SealBudget is
+// zero: 2^30 page seals per shard before the key epoch rotates. Far below
+// any bound that matters cryptographically (counter nonces never repeat
+// within an epoch), it exists to keep the amount of ciphertext under any one
+// derived key bounded and the rotation machinery routinely exercised.
+const DefaultSealBudget = 1 << 30
+
+// maxEpochShards is the shard-count ceiling for epoch ciphers: the shard
+// index rides in the top byte of the 64-bit seal counter, partitioning the
+// nonce space so shards sharing one derived key can never collide.
+const maxEpochShards = 256
 
 // DefaultCachePages re-exports the engine's default decoded-node cache size.
 const DefaultCachePages = engine.DefaultCachePages
@@ -212,7 +240,13 @@ func (o Options) validate() (order int, sub keysub.Substituter, nc cipher.NodeCi
 			}
 		}
 		if nc == nil {
-			if nc, err = cipher.NewAESGCM(deriveKey(o.MasterKey, "ekbtree/cipher")); err != nil {
+			// The derived cipher is the epoch-keyed scheme: per-epoch HKDF
+			// subkeys and counter nonces, rotated by the background rotator.
+			// Files written by the legacy random-nonce scheme record a
+			// different cipher name in their sealed header, so they fail
+			// closed with ErrConfigMismatch instead of silently mixing nonce
+			// disciplines.
+			if nc, err = cipher.NewEpochAESGCM(deriveKey(o.MasterKey, "ekbtree/cipher")); err != nil {
 				return 0, nil, nil, 0, 0, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
 			}
 		}
@@ -254,6 +288,9 @@ func (o Options) validate() (order int, sub keysub.Substituter, nc cipher.NodeCi
 		}
 	case shards > 1 && o.Store != nil:
 		return 0, nil, nil, 0, 0, fmt.Errorf("%w: Shards > 1 requires per-shard stores (Path or default), not a single Store", ErrInvalidOptions)
+	}
+	if _, ok := nc.(cipher.EpochSealer); ok && shards > maxEpochShards {
+		return 0, nil, nil, 0, 0, fmt.Errorf("%w: Shards %d exceeds %d, the epoch cipher's nonce-partition limit", ErrInvalidOptions, shards, maxEpochShards)
 	}
 	cachePages = o.CachePages
 	switch {
@@ -359,6 +396,14 @@ type Tree struct {
 	// maxEpochAge bounds cursor snapshot age; 0 = unbounded. See
 	// Options.MaxEpochAge.
 	maxEpochAge uint64
+
+	// Rotator plumbing; all nil for non-epoch ciphers. rotKick holds at most
+	// one pending kick — the rotator sweeps to convergence per kick, so
+	// kicks absorb rather than queue.
+	rotKick chan struct{}
+	rotStop chan struct{}
+	rotDone chan struct{}
+	rotOnce sync.Once
 }
 
 // Open builds a tree from opts. Reopening an existing store requires the same
@@ -383,6 +428,22 @@ func Open(opts Options) (*Tree, error) {
 		}
 	}
 	t := &Tree{sub: sub, router: router, maxEpochAge: uint64(opts.MaxEpochAge)}
+	_, epochCipher := nc.(cipher.EpochSealer)
+	var sealBudget uint64
+	if epochCipher {
+		switch {
+		case opts.SealBudget > 0:
+			sealBudget = uint64(opts.SealBudget)
+		case opts.SealBudget == 0:
+			sealBudget = DefaultSealBudget
+		}
+		// The kick channel must exist before any engine can fire
+		// OnEpochAdvance; the goroutine itself starts only once every shard
+		// opened.
+		t.rotKick = make(chan struct{}, 1)
+		t.rotStop = make(chan struct{})
+		t.rotDone = make(chan struct{})
+	}
 	// Stores opened here (Path or default) are ours to close on failure; a
 	// caller-provided Store (single-shard only) stays the caller's to manage.
 	ownStore := opts.Store == nil
@@ -403,7 +464,14 @@ func Open(opts Options) (*Tree, error) {
 			}
 			return fail(err)
 		}
-		g, err := engine.New(engine.Config{Store: st, Cipher: nc, Order: order, CachePages: cachePages})
+		cfg := engine.Config{Store: st, Cipher: nc, Order: order, CachePages: cachePages}
+		if epochCipher {
+			cfg.SealBudget = sealBudget
+			cfg.HardSealLimit = opts.SealHardLimit
+			cfg.CounterBase = uint64(i) << 56
+			cfg.OnEpochAdvance = func(uint32) { t.kickRotator() }
+		}
+		g, err := engine.New(cfg)
 		if err != nil {
 			if ownStore {
 				st.Close()
@@ -412,7 +480,104 @@ func Open(opts Options) (*Tree, error) {
 		}
 		t.shards = append(t.shards, g)
 	}
+	if epochCipher {
+		go t.rotatorLoop()
+		// An initial kick drains any epochs a previous run advanced but
+		// never finished re-sealing (e.g. a crash mid-rotation).
+		t.kickRotator()
+	}
 	return t, nil
+}
+
+// kickRotator schedules a rotation sweep. Non-blocking: the rotator sweeps
+// to convergence per kick, so a kick that finds one already pending is
+// subsumed by it.
+func (t *Tree) kickRotator() {
+	if t.rotKick == nil {
+		return
+	}
+	select {
+	case t.rotKick <- struct{}{}:
+	default:
+	}
+}
+
+// rotateRetryDelay is the rotator's backoff after a sweep hits a transient
+// error (e.g. a store briefly refusing commits).
+const rotateRetryDelay = 10 * time.Millisecond
+
+// rotatorLoop is the background re-seal rotator: one goroutine per Tree,
+// woken by epoch advances (and once at Open), sweeping every shard's
+// old-epoch pages back under the current derived key. Each re-seal batch is
+// an ordinary shadow-paged OCC commit, so a crash at any byte of rotation
+// leaves the tree in a normal pre-or-post-commit state — rotation needs no
+// recovery protocol of its own. The loop exits when the tree closes.
+func (t *Tree) rotatorLoop() {
+	defer close(t.rotDone)
+	for {
+		select {
+		case <-t.rotStop:
+			return
+		case <-t.rotKick:
+		}
+		for {
+			done, transient := true, false
+			for _, g := range t.shards {
+				d, err := g.Rotate()
+				if errors.Is(err, ErrClosed) {
+					return
+				}
+				if err != nil {
+					transient = true
+				}
+				if err != nil || !d {
+					done = false
+				}
+			}
+			if done {
+				break
+			}
+			if transient {
+				select {
+				case <-t.rotStop:
+					return
+				case <-time.After(rotateRetryDelay):
+				}
+			} else {
+				select {
+				case <-t.rotStop:
+					return
+				default:
+				}
+			}
+		}
+	}
+}
+
+// stopRotator shuts the rotator down and waits for it to exit. Idempotent;
+// a no-op for non-epoch ciphers.
+func (t *Tree) stopRotator() {
+	if t.rotStop == nil {
+		return
+	}
+	t.rotOnce.Do(func() { close(t.rotStop) })
+	<-t.rotDone
+}
+
+// AdvanceEpoch forces every shard onto a fresh key epoch immediately,
+// regardless of the seal budget, and schedules the background rotator to
+// re-seal the superseded epochs' pages. This is the operator-driven "rotate
+// now": the new epochs' durable reservations are on disk when the call
+// returns, while the re-sealing itself proceeds in the background (watch
+// Stats.PagesPendingReseal drain to zero). A no-op for non-epoch ciphers.
+func (t *Tree) AdvanceEpoch() error {
+	for _, g := range t.shards {
+		if err := g.AdvanceEpoch(); err != nil {
+			return err
+		}
+	}
+	t.kickRotator()
+	return nil
 }
 
 // metaPageID is the pseudo page ID binding the sealed header; real page IDs
@@ -597,6 +762,18 @@ type Stats struct {
 	Retries uint64
 	// Shards is the number of shards (1 for an unsharded tree).
 	Shards int
+	// CipherEpoch is the newest key epoch any shard is sealing under (the
+	// maximum across shards; shards rotate independently). Zero for
+	// non-epoch ciphers.
+	CipherEpoch uint32
+	// Seals is the number of page seals issued within each shard's current
+	// epoch, summed across shards. It resets to zero as epochs advance.
+	Seals uint64
+	// PagesPendingReseal is the number of live pages still sealed under an
+	// epoch older than their shard's current one, summed across shards —
+	// the backlog the background rotator is draining. Zero once rotation
+	// has converged.
+	PagesPendingReseal int
 }
 
 // Stats reports tree shape, cache counters, and commit-pipeline counters,
@@ -623,6 +800,11 @@ func (t *Tree) Stats() (Stats, error) {
 		agg.Commits += s.Commits
 		agg.Conflicts += s.Conflicts
 		agg.Retries += s.Retries
+		if s.CipherEpoch > agg.CipherEpoch {
+			agg.CipherEpoch = s.CipherEpoch
+		}
+		agg.Seals += s.Seals
+		agg.PagesPendingReseal += s.PagesPendingReseal
 	}
 	return agg, nil
 }
@@ -655,6 +837,9 @@ func (t *Tree) closed() bool {
 // ErrClosed. For a sharded tree every shard is closed even if some fail; the
 // errors are joined.
 func (t *Tree) Close() error {
+	// The rotator goes first, so no rotation commit is mid-flight when the
+	// shards' stores close underneath it.
+	t.stopRotator()
 	var errs []error
 	for _, g := range t.shards {
 		if err := g.Close(); err != nil {

@@ -16,13 +16,36 @@ import (
 type Config struct {
 	// Store is the shard's page store, already header-checked.
 	Store store.PageStore
-	// Cipher seals and opens this shard's pages.
+	// Cipher seals and opens this shard's pages. When it implements
+	// cipher.EpochSealer, the engine allocates collision-free (epoch,
+	// counter) nonces for every seal and the lifecycle fields below apply;
+	// a plain NodeCipher keeps the legacy scheme-chosen-nonce behavior.
 	Cipher cipher.NodeCipher
 	// Order is the B-tree order (maximum children per node); validated even
 	// and >= 4 by the caller.
 	Order int
 	// CachePages caps the decoded-node cache; 0 disables it.
 	CachePages int
+
+	// SealBudget is the soft per-epoch seal budget: once an epoch has issued
+	// this many counters, the next commit advances to a fresh key epoch (and
+	// OnEpochAdvance fires, typically scheduling rotation). 0 disables
+	// budget-driven advances — epochs then move only via AdvanceEpoch.
+	// Ignored for non-epoch ciphers.
+	SealBudget uint64
+	// HardSealLimit is the fail-closed bound: a commit that would push the
+	// current epoch's counter past it fails with ErrSealsExhausted. 0 means
+	// DefaultHardSealLimit; values above 2^56 are clamped (the counter's top
+	// byte carries the shard tag). Ignored for non-epoch ciphers.
+	HardSealLimit uint64
+	// CounterBase is ORed into every issued counter; the façade passes
+	// shardIndex<<56 so shards sharing one derived key can never collide in
+	// nonce space. Ignored for non-epoch ciphers.
+	CounterBase uint64
+	// OnEpochAdvance, when set, is called (outside engine locks) each time
+	// the key epoch advances, with the new epoch. The façade points it at
+	// its background rotator.
+	OnEpochAdvance func(epoch uint32)
 }
 
 // Engine is one single-shard enciphered B-tree: the epoch-based snapshot
@@ -42,7 +65,8 @@ type Engine struct {
 	st   store.PageStore
 	io   *nodeIO
 	es   *epochs
-	deg  int // btree minimum degree (order/2)
+	sa   *sealAlloc // nil for non-epoch ciphers
+	deg  int        // btree minimum degree (order/2)
 
 	// Commit-pipeline counters, surfaced through Stats.
 	commits   atomic.Uint64 // successfully published epochs
@@ -58,12 +82,21 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, MapErr(err)
 	}
-	return &Engine{
+	g := &Engine{
 		st:  cfg.Store,
 		io:  newNodeIO(cfg.Store, cfg.Cipher, cfg.CachePages),
 		es:  newEpochs(root),
 		deg: cfg.Order / 2,
-	}, nil
+	}
+	if g.io.es != nil {
+		sa, err := newSealAlloc(cfg.Store, cfg.SealBudget, cfg.HardSealLimit,
+			cfg.CounterBase, cfg.OnEpochAdvance)
+		if err != nil {
+			return nil, MapErr(err)
+		}
+		g.sa = sa
+	}
+	return g, nil
 }
 
 // maxOptimisticAttempts bounds how many times a mutation retries
@@ -102,12 +135,26 @@ const (
 // invisible to callers — no error surfaces, the retry happens inside the
 // call. Store errors are never retried and propagate unchanged.
 func (g *Engine) Apply(apply func(bt *btree.Tree) error) error {
+	return g.applyTxn(func(tx *writeTxn) error {
+		bt, err := btree.New(tx, g.deg)
+		if err != nil {
+			return err
+		}
+		return apply(bt)
+	})
+}
+
+// applyTxn is the transaction-level commit loop under Apply: it runs work
+// against a fresh writeTxn per attempt with the same retry/escalation policy.
+// The rotator's re-seal commits enter here directly — they restage pages
+// without a btree view.
+func (g *Engine) applyTxn(work func(tx *writeTxn) error) error {
 	exclusive := false
 	for attempt := 1; ; attempt++ {
 		if attempt > maxOptimisticAttempts {
 			exclusive = true
 		}
-		err, disp := g.tryCommit(apply, exclusive)
+		err, disp := g.tryCommit(work, exclusive)
 		switch disp {
 		case commitConflict:
 			g.conflicts.Add(1)
@@ -147,7 +194,7 @@ func (g *Engine) Apply(apply func(bt *btree.Tree) error) error {
 // still holds the pre-commit versions, and the provisional epoch is resolved
 // failed (kept linked only while its pre-images may be load-bearing on a
 // store that applied the commit before fail-stopping).
-func (g *Engine) tryCommit(apply func(bt *btree.Tree) error, exclusive bool) (error, commitDisposition) {
+func (g *Engine) tryCommit(work func(tx *writeTxn) error, exclusive bool) (error, commitDisposition) {
 	if exclusive {
 		g.gate.Lock()
 		defer g.gate.Unlock()
@@ -161,11 +208,8 @@ func (g *Engine) tryCommit(apply func(bt *btree.Tree) error, exclusive bool) (er
 	}
 	defer g.es.release(base)
 	tx := newWriteTxn(g.io, base)
-	bt, err := btree.New(tx, g.deg)
-	if err != nil {
-		return err, commitDone
-	}
-	if err := apply(bt); err != nil {
+	tx.sa = g.sa
+	if err := work(tx); err != nil {
 		return MapErr(err), commitDone
 	}
 	cs, err := tx.seal()
@@ -291,6 +335,11 @@ type Stats struct {
 	Commits   uint64
 	Conflicts uint64
 	Retries   uint64
+
+	// Cipher-lifecycle counters; zero for non-epoch ciphers.
+	CipherEpoch        uint32 // key epoch new seals are issued under
+	Seals              uint64 // counters issued within the current epoch
+	PagesPendingReseal int    // live pages still sealed under an older epoch
 }
 
 // Stats reports shard shape, cache counters, and commit-pipeline counters.
@@ -306,13 +355,18 @@ func (g *Engine) Stats() (Stats, error) {
 	if err != nil {
 		return Stats{}, MapErr(err)
 	}
-	return Stats{
+	out := Stats{
 		Keys: s.Keys, Nodes: s.Nodes, Height: s.Height,
 		Cache:     g.io.cacheStats(),
 		Commits:   g.commits.Load(),
 		Conflicts: g.conflicts.Load(),
 		Retries:   g.retries.Load(),
-	}, nil
+	}
+	out.CipherEpoch, out.Seals = g.SealState()
+	if out.PagesPendingReseal, err = g.PendingReseal(); err != nil {
+		return Stats{}, MapErr(err)
+	}
+	return out, nil
 }
 
 // Sync blocks until every write acknowledged before the call is durable on

@@ -61,6 +61,14 @@ var (
 	// superseded pre-image since the pin in memory; the age cap converts that
 	// unbounded liability into a typed, retryable error.
 	ErrSnapshotTooOld = errors.New("ekbtree: snapshot too old")
+
+	// ErrSealsExhausted is returned by mutations when the current key epoch's
+	// seal counter has reached the hard bound and no new epoch can absorb the
+	// write (rotation disabled, or the epoch space itself exhausted). The
+	// engine fails writes closed rather than gamble on nonce reuse; reads
+	// keep working. Recovery is enabling rotation (a seal budget) or opening
+	// with a fresh key epoch configuration.
+	ErrSealsExhausted = errors.New("ekbtree: seal counter exhausted")
 )
 
 // MapErr translates internal-layer errors into the sentinel taxonomy above.
@@ -72,7 +80,8 @@ func MapErr(err error) error {
 	case errors.Is(err, ErrClosed), errors.Is(err, ErrTooLarge),
 		errors.Is(err, ErrWrongKey), errors.Is(err, ErrConfigMismatch),
 		errors.Is(err, ErrCorrupt), errors.Is(err, ErrInvalidOptions),
-		errors.Is(err, ErrLocked), errors.Is(err, ErrSnapshotTooOld):
+		errors.Is(err, ErrLocked), errors.Is(err, ErrSnapshotTooOld),
+		errors.Is(err, ErrSealsExhausted):
 		return err
 	case errors.Is(err, store.ErrClosed):
 		return ErrClosed

@@ -45,6 +45,10 @@ type CacheStats struct {
 type nodeIO struct {
 	st store.PageStore
 	nc cipher.NodeCipher
+	// es is nc's EpochSealer extension when it has one, nil otherwise. With
+	// it set, transactional seals go through sealEpoch with engine-allocated
+	// (epoch, counter) nonces; without it, the legacy Seal path applies.
+	es cipher.EpochSealer
 
 	mu       sync.Mutex
 	cacheIdx map[uint64]int // page ID -> slot index; nil disables the cache
@@ -96,6 +100,7 @@ func cloneNode(n *node.Node) *node.Node {
 
 func newNodeIO(st store.PageStore, nc cipher.NodeCipher, maxCache int) *nodeIO {
 	io := &nodeIO{st: st, nc: nc, maxCache: maxCache}
+	io.es, _ = nc.(cipher.EpochSealer)
 	if maxCache > 0 {
 		io.cacheIdx = make(map[uint64]int, maxCache)
 		io.slots = make([]cacheSlot, 0, maxCache)
@@ -185,13 +190,24 @@ func (io *nodeIO) Write(id uint64, n *node.Node) error {
 	return nil
 }
 
-// seal encodes and seals one node into a store-ready page.
+// seal encodes and seals one node into a store-ready page via the cipher's
+// legacy (scheme-chosen nonce) path.
 func (io *nodeIO) seal(id uint64, n *node.Node) ([]byte, error) {
 	pt, err := n.Encode()
 	if err != nil {
 		return nil, err
 	}
 	return io.nc.Seal(id, pt)
+}
+
+// sealEpoch encodes and seals one node under an engine-allocated
+// (epoch, counter) nonce. Callers guarantee the pair is never reused.
+func (io *nodeIO) sealEpoch(id uint64, n *node.Node, epoch uint32, counter uint64) ([]byte, error) {
+	pt, err := n.Encode()
+	if err != nil {
+		return nil, err
+	}
+	return io.es.SealEpoch(id, epoch, counter, pt)
 }
 
 // cacheGet returns a cached decoded node and marks its reference bit, giving

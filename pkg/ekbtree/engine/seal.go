@@ -1,0 +1,354 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/paper-repro/ekbtree/internal/store"
+)
+
+// sealReserveChunk is how many counters a durable reservation covers. The
+// persisted high-water mark always runs at least this far ahead of the
+// counters actually issued, so reopening after a crash skips at most one
+// chunk of nonce space per generation — a rounding error against the budget —
+// and steady-state sealing pays one durable mark write per chunk, not per
+// commit.
+const sealReserveChunk = 4096
+
+// DefaultHardSealLimit is the per-epoch counter value at which writes fail
+// closed when no hard limit is configured: the classic 2^32 AES-GCM bound.
+// With counter nonces the real collision bound is 2^64 per epoch, so this is
+// deeply conservative — it exists so that a deployment that disables rotation
+// still can never drift into territory the cipher's security proofs have
+// opinions about.
+const DefaultHardSealLimit = 1 << 32
+
+// maxCounterSpace bounds the per-epoch counter value so the shard index in
+// the counter's top byte (see Config.CounterBase) can never be carried into.
+const maxCounterSpace = 1 << 56
+
+// sealAlloc hands out collision-free (epoch, counter) pairs for an
+// EpochSealer cipher and owns the engine's durable seal mark. The invariant
+// it maintains: before any counter is handed to a sealer, a mark covering it
+// is DURABLE in the store (SetSealMark + Sync). Sealed bytes reach the file's
+// data region even for commits a crash will discard — the flush writes pages
+// before the slot flip — so the reservation must outrun every counter that
+// could possibly hit the platter, not just the committed ones.
+type sealAlloc struct {
+	st        store.PageStore
+	budget    uint64 // soft per-epoch budget; crossing it advances the epoch. 0 = never advance.
+	hard      uint64 // fail-closed bound; counters never reach it
+	base      uint64 // shard tag ORed into the counter's top byte
+	onAdvance func(epoch uint32)
+
+	mu       sync.Mutex
+	epoch    uint32
+	clean    uint32 // newest epoch verified fully re-sealed (<= epoch)
+	next     uint64 // next unissued counter within epoch (excludes base)
+	reserved uint64 // durable reservation high-water mark (excludes base)
+}
+
+// newSealAlloc seeds the allocator from the store's persisted mark and
+// immediately re-reserves: counters in [mark.Counter-chunk, mark.Counter) may
+// have been issued by the previous generation (the mark is a high-water mark,
+// not an exact count), so issuance resumes at mark.Counter, never below it.
+func newSealAlloc(st store.PageStore, budget, hard, base uint64, onAdvance func(uint32)) (*sealAlloc, error) {
+	if hard == 0 {
+		hard = DefaultHardSealLimit
+	}
+	if hard > maxCounterSpace {
+		hard = maxCounterSpace
+	}
+	mark, err := st.SealMark()
+	if err != nil {
+		return nil, err
+	}
+	return &sealAlloc{
+		st:        st,
+		budget:    budget,
+		hard:      hard,
+		base:      base,
+		onAdvance: onAdvance,
+		epoch:     mark.Epoch,
+		clean:     mark.Clean,
+		next:      mark.Counter,
+		reserved:  mark.Counter,
+	}, nil
+}
+
+// persistLocked makes the current (epoch, clean, reserved) durable. Callers
+// hold sa.mu; the store's commit pipeline runs independently of it, so the
+// Sync barrier cannot deadlock against concurrent commits.
+func (sa *sealAlloc) persistLocked() error {
+	mark := store.SealMark{Epoch: sa.epoch, Clean: sa.clean, Counter: sa.reserved}
+	if err := sa.st.SetSealMark(mark); err != nil {
+		return err
+	}
+	return sa.st.Sync()
+}
+
+// take allocates n consecutive counters in the current epoch, returning the
+// epoch and the first counter (base included; the caller uses start+i for
+// page i). Crossing the soft budget advances the epoch first — the new
+// epoch's reservation is durable before its first counter leaves — and
+// reaching the hard bound fails closed with ErrSealsExhausted.
+func (sa *sealAlloc) take(n int) (uint32, uint64, error) {
+	sa.mu.Lock()
+	var advanced uint32
+	epoch, start, err := func() (uint32, uint64, error) {
+		if sa.budget > 0 && sa.next >= sa.budget && sa.epoch < ^uint32(0) {
+			// Soft budget crossed: open the next epoch. The durable mark must
+			// record the new epoch (with a fresh reservation) before any of
+			// its counters are issued — a crash between the two would
+			// otherwise reopen at the old epoch, later advance again, and
+			// replay the new epoch's counters from zero.
+			prevEpoch, prevNext, prevReserved := sa.epoch, sa.next, sa.reserved
+			sa.epoch++
+			sa.next = 0
+			sa.reserved = min(uint64(sealReserveChunk)+uint64(n), sa.hard)
+			if err := sa.persistLocked(); err != nil {
+				sa.epoch, sa.next, sa.reserved = prevEpoch, prevNext, prevReserved
+				return 0, 0, err
+			}
+			advanced = sa.epoch
+		}
+		if uint64(n) > sa.hard || sa.next > sa.hard-uint64(n) {
+			return 0, 0, fmt.Errorf("%w: epoch %d counter %d + %d pages exceeds the hard bound %d",
+				ErrSealsExhausted, sa.epoch, sa.next, n, sa.hard)
+		}
+		if sa.next+uint64(n) > sa.reserved {
+			prev := sa.reserved
+			sa.reserved = min(sa.next+uint64(n)+sealReserveChunk, sa.hard)
+			if err := sa.persistLocked(); err != nil {
+				sa.reserved = prev
+				return 0, 0, err
+			}
+		}
+		start := sa.next
+		sa.next += uint64(n)
+		return sa.epoch, sa.base | start, nil
+	}()
+	sa.mu.Unlock()
+	if advanced != 0 && sa.onAdvance != nil {
+		sa.onAdvance(advanced)
+	}
+	return epoch, start, err
+}
+
+// currentEpoch returns the epoch new seals are issued under.
+func (sa *sealAlloc) currentEpoch() uint32 {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	return sa.epoch
+}
+
+// state snapshots (epoch, clean, issued-in-epoch) for Stats.
+func (sa *sealAlloc) state() (epoch, clean uint32, issued uint64) {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	return sa.epoch, sa.clean, sa.next
+}
+
+// markClean records that every live page has been verified sealed at epoch
+// (or newer). The clean mark is an optimization — it lets Open, Stats, and
+// the rotator skip full-tree sweeps — so it is persisted without a Sync
+// barrier: losing it to a crash merely costs one re-verification sweep.
+func (sa *sealAlloc) markClean(epoch uint32) error {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	if epoch <= sa.clean {
+		return nil
+	}
+	sa.clean = epoch
+	return sa.st.SetSealMark(store.SealMark{Epoch: sa.epoch, Clean: sa.clean, Counter: sa.reserved})
+}
+
+// cleanAtLeast reports whether every live page is known sealed at epoch or
+// newer.
+func (sa *sealAlloc) cleanAtLeast(epoch uint32) bool {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	return sa.clean >= epoch
+}
+
+// AdvanceEpoch forces an epoch advance regardless of the soft budget, as if
+// the budget had just been crossed: the new epoch's reservation is made
+// durable before the call returns. The façade uses it for operator-driven
+// rotation ("rotate now", not "rotate at the budget").
+func (g *Engine) AdvanceEpoch() error {
+	sa := g.sa
+	if sa == nil {
+		return nil
+	}
+	sa.mu.Lock()
+	var advanced uint32
+	err := func() error {
+		if sa.epoch == ^uint32(0) {
+			return fmt.Errorf("%w: epoch space exhausted", ErrSealsExhausted)
+		}
+		prevEpoch, prevNext, prevReserved := sa.epoch, sa.next, sa.reserved
+		sa.epoch++
+		sa.next = 0
+		sa.reserved = min(uint64(sealReserveChunk), sa.hard)
+		if err := sa.persistLocked(); err != nil {
+			sa.epoch, sa.next, sa.reserved = prevEpoch, prevNext, prevReserved
+			return err
+		}
+		advanced = sa.epoch
+		return nil
+	}()
+	sa.mu.Unlock()
+	if advanced != 0 && sa.onAdvance != nil {
+		sa.onAdvance(advanced)
+	}
+	return MapErr(err)
+}
+
+// SealState reports the cipher-lifecycle counters for Stats: the current key
+// epoch and how many seals it has issued. Engines over a non-epoch cipher
+// report zeros.
+func (g *Engine) SealState() (epoch uint32, seals uint64) {
+	if g.sa == nil {
+		return 0, 0
+	}
+	e, _, issued := g.sa.state()
+	return e, issued
+}
+
+// rotateBatch is how many pages one rotation commit re-seals. Small enough
+// that a rotation commit's OCC window (and its conflict blast radius against
+// concurrent writers) stays short; large enough to amortize the commit's
+// store round trip.
+const rotateBatch = 64
+
+// staleScan walks one pinned snapshot of the tree and returns the IDs of
+// every reachable page whose ON-DISK seal is older than target. Structure
+// comes from the epoch reader (decoded nodes, overlay-correct); staleness
+// comes from the raw store bytes — the cache cannot answer "what epoch sealed
+// this page", only the nonce prefix can. Pages freed mid-scan simply drop out
+// (ErrNotFound means a newer commit already released them, and new seals are
+// always current-epoch).
+func (g *Engine) staleScan(target uint32) ([]uint64, error) {
+	es, ok := g.io.nc.(interface {
+		SealedEpoch([]byte) (uint32, bool)
+	})
+	if !ok {
+		return nil, nil
+	}
+	e, err := g.es.pin()
+	if err != nil {
+		return nil, err
+	}
+	defer g.es.release(e)
+	if e.root == store.NoRoot {
+		return nil, nil
+	}
+	r := epochReader{io: g.io, e: e}
+	var stale []uint64
+	stack := []uint64{e.root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, err := r.Read(id)
+		if err != nil {
+			if errors.Is(err, store.ErrNotFound) {
+				continue
+			}
+			return nil, MapErr(err)
+		}
+		if !n.Leaf {
+			stack = append(stack, n.Children...)
+		}
+		page, err := g.st.ReadPage(id)
+		if err != nil {
+			if errors.Is(err, store.ErrNotFound) {
+				continue
+			}
+			return nil, MapErr(err)
+		}
+		if sealed, ok := es.SealedEpoch(page); ok && sealed < target {
+			stale = append(stale, id)
+		}
+	}
+	return stale, nil
+}
+
+// resealPages re-seals the given pages under the current epoch as one
+// ordinary shadow-paged OCC commit: read, restage identical content, commit.
+// Crash-safety needs no new machinery — the commit is indistinguishable from
+// a writer rewriting the pages, so a crash at any byte yields the normal
+// pre-or-post-commit state. Pages freed by concurrent commits are skipped;
+// page IDs are never reused, so ErrNotFound is always "this page is gone",
+// never "this ID means something else now".
+func (g *Engine) resealPages(ids []uint64) error {
+	return g.applyTxn(func(tx *writeTxn) error {
+		for _, id := range ids {
+			n, err := tx.Read(id)
+			if err != nil {
+				if errors.Is(err, store.ErrNotFound) {
+					continue
+				}
+				return err
+			}
+			if err := tx.Write(id, n); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Rotate runs one full re-seal sweep toward the current epoch: it scans a
+// snapshot for pages still sealed under older epochs and rewrites them,
+// rotateBatch pages per commit. It returns done=true when a sweep found
+// nothing stale (recording the clean epoch so the next call is O(1)) and the
+// epoch did not advance mid-sweep; done=false means call again — more pages
+// may have gone stale behind the scan. Safe to run concurrently with writers
+// (rotation commits are ordinary OCC commits and retry on conflict); the
+// façade serializes Rotate calls per engine in its rotator goroutine.
+func (g *Engine) Rotate() (bool, error) {
+	if g.sa == nil {
+		return true, nil
+	}
+	target := g.sa.currentEpoch()
+	if g.sa.cleanAtLeast(target) {
+		return true, nil
+	}
+	stale, err := g.staleScan(target)
+	if err != nil {
+		return false, err
+	}
+	if len(stale) == 0 {
+		if err := g.sa.markClean(target); err != nil {
+			return false, MapErr(err)
+		}
+		return g.sa.currentEpoch() == target, nil
+	}
+	for i := 0; i < len(stale); i += rotateBatch {
+		end := min(i+rotateBatch, len(stale))
+		if err := g.resealPages(stale[i:end]); err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+// PendingReseal counts live pages still sealed under an epoch older than the
+// current one. O(1) when the rotator has caught up (the persisted clean mark
+// answers without a walk); during rotation it is a full O(nodes) sweep, the
+// same order as the shape walk Stats already does.
+func (g *Engine) PendingReseal() (int, error) {
+	if g.sa == nil {
+		return 0, nil
+	}
+	target := g.sa.currentEpoch()
+	if g.sa.cleanAtLeast(target) {
+		return 0, nil
+	}
+	stale, err := g.staleScan(target)
+	if err != nil {
+		return 0, err
+	}
+	return len(stale), nil
+}

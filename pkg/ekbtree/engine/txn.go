@@ -34,6 +34,7 @@ import (
 // not within one.
 type writeTxn struct {
 	io          *nodeIO
+	sa          *sealAlloc // nil for legacy (non-epoch) ciphers
 	base        *epoch
 	baseRoot    uint64
 	staged      map[uint64]*stagedNode
@@ -188,7 +189,20 @@ func (tx *writeTxn) seal() (*commitSet, error) {
 		return nil, nil
 	}
 	cs := &commitSet{writes: make(map[uint64][]byte, len(dirty))}
-	if err := tx.sealDirty(dirty, cs.writes); err != nil {
+	// With an epoch cipher, one contiguous counter block covers the whole
+	// commit: page i seals with nonce (epoch, start+i). The allocation itself
+	// durably reserves the counters (see sealAlloc.take) before any of them
+	// touches the cipher.
+	var epoch uint32
+	var start uint64
+	if tx.sa != nil {
+		var err error
+		epoch, start, err = tx.sa.take(len(dirty))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := tx.sealDirty(dirty, cs.writes, epoch, start); err != nil {
 		return nil, err
 	}
 	cs.root = tx.baseRoot
@@ -219,18 +233,27 @@ func (tx *writeTxn) seal() (*commitSet, error) {
 // encode + AES-GCM; a goroutine handoff is about one).
 const sealParallelMin = 8
 
-// sealDirty encodes and seals the staged dirty pages into out. Seals are
-// independent pure-CPU work over a stateless cipher, so large commits fan out
-// across up to GOMAXPROCS worker goroutines pulling page indices from a
-// shared counter; small commits (or single-proc runs) seal inline.
-func (tx *writeTxn) sealDirty(ids []uint64, out map[uint64][]byte) error {
+// sealDirty encodes and seals the staged dirty pages into out. With an
+// allocator (tx.sa != nil) page ids[i] seals under nonce (epoch, start+i) —
+// counters bind to indices, not goroutines, so the parallel path issues
+// exactly the same nonces as the inline one. Seals are independent pure-CPU
+// work over a stateless cipher, so large commits fan out across up to
+// GOMAXPROCS worker goroutines pulling page indices from a shared counter;
+// small commits (or single-proc runs) seal inline.
+func (tx *writeTxn) sealDirty(ids []uint64, out map[uint64][]byte, epoch uint32, start uint64) error {
+	sealOne := func(i int) ([]byte, error) {
+		if tx.sa != nil {
+			return tx.io.sealEpoch(ids[i], tx.staged[ids[i]].n, epoch, start+uint64(i))
+		}
+		return tx.io.seal(ids[i], tx.staged[ids[i]].n)
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(ids) {
 		workers = len(ids)
 	}
 	if len(ids) < sealParallelMin || workers < 2 {
-		for _, id := range ids {
-			page, err := tx.io.seal(id, tx.staged[id].n)
+		for i, id := range ids {
+			page, err := sealOne(i)
 			if err != nil {
 				return err
 			}
@@ -254,7 +277,7 @@ func (tx *writeTxn) sealDirty(ids []uint64, out map[uint64][]byte) error {
 				if i >= len(ids) {
 					return
 				}
-				page, err := tx.io.seal(ids[i], tx.staged[ids[i]].n)
+				page, err := sealOne(i)
 				if err != nil {
 					errOnce.Do(func() { sealErr = err })
 					return

@@ -53,6 +53,14 @@ var (
 	// corruption signal — and the caller's recovery is to close the cursor
 	// and open a fresh one.
 	ErrSnapshotTooOld = engine.ErrSnapshotTooOld
+
+	// ErrSealsExhausted is returned by mutations when a shard's key epoch has
+	// reached its hard seal bound and no fresh epoch can absorb the write
+	// (rotation disabled via a negative SealBudget, or the 32-bit epoch space
+	// itself spent). Writes fail closed rather than risk nonce reuse; reads
+	// keep working. Recovery is enabling rotation (Options.SealBudget) or
+	// calling Tree.AdvanceEpoch.
+	ErrSealsExhausted = engine.ErrSealsExhausted
 )
 
 // mapErr translates internal-layer errors into the façade's sentinel

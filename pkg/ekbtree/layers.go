@@ -55,8 +55,18 @@ func NewBucketedSubstituter(secret []byte, width, prefixBits int) (Substituter, 
 	return keysub.NewBucketed(inner, prefixBits)
 }
 
-// NewAESGCMCipher returns the AES-GCM node cipher; the key must be 16, 24,
-// or 32 bytes.
+// NewAESGCMCipher returns the legacy AES-GCM node cipher (random nonces, one
+// static key, no epochs); the key must be 16, 24, or 32 bytes. Use it to
+// reopen stores written before key epochs existed; new trees should prefer
+// NewEpochAESGCMCipher (what a derived MasterKey cipher is).
 func NewAESGCMCipher(key []byte) (NodeCipher, error) {
 	return cipher.NewAESGCM(key)
+}
+
+// NewEpochAESGCMCipher returns the epoch-keyed AES-GCM node cipher: per-epoch
+// HKDF subkeys and collision-free counter nonces, supporting seal budgets and
+// background re-seal rotation (see Options.SealBudget). The key must be 16,
+// 24, or 32 bytes. This is the scheme Options.MasterKey derives.
+func NewEpochAESGCMCipher(key []byte) (NodeCipher, error) {
+	return cipher.NewEpochAESGCM(key)
 }

@@ -56,7 +56,7 @@ func (m Material) Options(base Options) (Options, error) {
 	if err != nil {
 		return Options{}, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
 	}
-	nc, err := cipher.NewAESGCM(m.CipherKey)
+	nc, err := cipher.NewEpochAESGCM(m.CipherKey)
 	if err != nil {
 		return Options{}, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
 	}

@@ -178,6 +178,35 @@ func TestModelConcurrency(t *testing.T) {
 		}
 		runModel(t, opts, true)
 	})
+	// Rotation legs: the epoch cipher with a budget tiny against the run's
+	// commit volume, so key epochs advance repeatedly mid-run and the
+	// background rotator re-seals pages while the oracle watches every read.
+	t.Run("rotate", func(t *testing.T) {
+		runModel(t, epochModelOpts(t, Options{}, 192), false)
+	})
+	t.Run("rotate/shards=3", func(t *testing.T) {
+		runModel(t, epochModelOpts(t, Options{Shards: 3}, 192), false)
+	})
+	t.Run("rotate/file/grouped", func(t *testing.T) {
+		opts := Options{
+			Path:       filepath.Join(t.TempDir(), "model.ekb"),
+			Durability: DurabilityGrouped,
+		}
+		runModel(t, epochModelOpts(t, opts, 192), true)
+	})
+}
+
+// epochModelOpts arms opts with the epoch-keyed cipher and a seal budget, for
+// the rotation model legs.
+func epochModelOpts(t *testing.T, opts Options, budget int64) Options {
+	t.Helper()
+	nc, err := NewEpochAESGCMCipher(bytes.Repeat([]byte{0xE3}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Cipher = nc
+	opts.SealBudget = budget
+	return opts
 }
 
 func runModel(t *testing.T, opts Options, fileBacked bool) {
@@ -193,16 +222,32 @@ func runModel(t *testing.T, opts Options, fileBacked bool) {
 	t.Logf("model seed %d (rerun with EKBTREE_MODEL_SEED=%d)", seed, seed)
 
 	// Explicit layers so the test can substitute keys itself and map scanned
-	// (substituted) keys back to plaintext.
+	// (substituted) keys back to plaintext. The cipher is the legacy
+	// random-nonce AES-GCM unless a rotation leg pre-set the epoch cipher
+	// (see epochModelOpts) or EKBTREE_SEAL_BUDGET forces it — the CI
+	// rotation-smoke seam: a tiny budget makes key epochs advance and the
+	// background rotator re-seal pages continuously beneath the full
+	// concurrent oracle.
 	sub, err := NewHMACSubstituter(bytes.Repeat([]byte{0xE1}, 32), 24)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nc, err := NewAESGCMCipher(bytes.Repeat([]byte{0xE2}, 32))
-	if err != nil {
-		t.Fatal(err)
+	opts.Substituter = sub
+	if opts.Cipher == nil {
+		if env := os.Getenv("EKBTREE_SEAL_BUDGET"); env != "" {
+			n, err := strconv.ParseInt(env, 10, 64)
+			if err != nil || n == 0 {
+				t.Fatalf("bad EKBTREE_SEAL_BUDGET %q", env)
+			}
+			opts = epochModelOpts(t, opts, n)
+		} else {
+			nc, err := NewAESGCMCipher(bytes.Repeat([]byte{0xE2}, 32))
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.Cipher = nc
+		}
 	}
-	opts.Substituter, opts.Cipher = sub, nc
 	opts.Order = 8 // small pages: more splits, merges, and multi-page commits
 	tr, err := Open(opts)
 	if err != nil {
@@ -469,6 +514,26 @@ func runModel(t *testing.T, opts Options, fileBacked bool) {
 	}
 	if s, err := tr.Stats(); err != nil || s.Keys != len(final) {
 		t.Fatalf("final Stats = (%+v, %v), want %d keys", s, err, len(final))
+	}
+
+	// With an epoch cipher, rotation must converge once writers quiesce: the
+	// background rotator drains every old-epoch page, and Stats reports the
+	// backlog at zero.
+	if s, err := tr.Stats(); err == nil && (s.CipherEpoch > 0 || s.Seals > 0) {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			s, err := tr.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.PagesPendingReseal == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("rotation never converged: %d pages still pending re-seal at epoch %d", s.PagesPendingReseal, s.CipherEpoch)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
 	}
 }
 

@@ -20,6 +20,11 @@ type statsJSON struct {
 	// always reports >= 1. Pre-sharding parsers that don't know the field
 	// simply ignore it.
 	Shards int `json:"shards,omitempty"`
+	// Cipher-lifecycle counters, omitted when zero so pre-epoch parsers and
+	// non-epoch trees see the previous shape unchanged.
+	CipherEpoch        uint32 `json:"cipher_epoch,omitempty"`
+	Seals              uint64 `json:"seals,omitempty"`
+	PagesPendingReseal int    `json:"pages_pending_reseal,omitempty"`
 }
 
 type cacheStatsJSON struct {
@@ -38,7 +43,9 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 			Evictions: s.Cache.Evictions, Pages: s.Cache.Pages,
 		},
 		Commits: s.Commits, Conflicts: s.Conflicts, Retries: s.Retries,
-		Shards: s.Shards,
+		Shards:      s.Shards,
+		CipherEpoch: s.CipherEpoch, Seals: s.Seals,
+		PagesPendingReseal: s.PagesPendingReseal,
 	})
 }
 
@@ -57,7 +64,9 @@ func (s *Stats) UnmarshalJSON(b []byte) error {
 			Evictions: j.Cache.Evictions, Pages: j.Cache.Pages,
 		},
 		Commits: j.Commits, Conflicts: j.Conflicts, Retries: j.Retries,
-		Shards: j.Shards,
+		Shards:      j.Shards,
+		CipherEpoch: j.CipherEpoch, Seals: j.Seals,
+		PagesPendingReseal: j.PagesPendingReseal,
 	}
 	return nil
 }
@@ -72,6 +81,10 @@ func (s Stats) String() string {
 	)
 	if s.Shards > 1 {
 		out += fmt.Sprintf(" shards=%d", s.Shards)
+	}
+	if s.CipherEpoch > 0 || s.Seals > 0 || s.PagesPendingReseal > 0 {
+		out += fmt.Sprintf(" epoch=%d seals=%d pending_reseal=%d",
+			s.CipherEpoch, s.Seals, s.PagesPendingReseal)
 	}
 	return out
 }

@@ -12,6 +12,7 @@ func TestStatsJSONRoundTrip(t *testing.T) {
 		Keys: 42, Nodes: 7, Height: 3,
 		Cache:   CacheStats{Hits: 100, Misses: 20, Evictions: 5, Pages: 64},
 		Commits: 9, Conflicts: 2, Retries: 3,
+		CipherEpoch: 2, Seals: 1234, PagesPendingReseal: 11,
 	}
 	b, err := json.Marshal(want)
 	if err != nil {
@@ -21,6 +22,7 @@ func TestStatsJSONRoundTrip(t *testing.T) {
 	for _, field := range []string{
 		`"keys":42`, `"nodes":7`, `"height":3`, `"hits":100`, `"misses":20`,
 		`"evictions":5`, `"pages":64`, `"commits":9`, `"conflicts":2`, `"retries":3`,
+		`"cipher_epoch":2`, `"seals":1234`, `"pages_pending_reseal":11`,
 	} {
 		if !strings.Contains(string(b), field) {
 			t.Errorf("marshaled stats %s missing %s", b, field)
@@ -104,6 +106,18 @@ func TestStatsString(t *testing.T) {
 	s := Stats{Keys: 1, Nodes: 2, Height: 3, Commits: 4}
 	str := s.String()
 	for _, part := range []string{"keys=1", "nodes=2", "height=3", "commits=4", "cache{"} {
+		if !strings.Contains(str, part) {
+			t.Errorf("String() = %q missing %q", str, part)
+		}
+	}
+	// Epoch fields only render once the epoch machinery has state; a legacy
+	// cipher's all-zero stats stay out of the string.
+	if strings.Contains(str, "epoch=") {
+		t.Errorf("String() = %q shows epoch state for a legacy-cipher tree", str)
+	}
+	s = Stats{Keys: 1, CipherEpoch: 3, Seals: 17, PagesPendingReseal: 2}
+	str = s.String()
+	for _, part := range []string{"epoch=3", "seals=17", "pending_reseal=2"} {
 		if !strings.Contains(str, part) {
 			t.Errorf("String() = %q missing %q", str, part)
 		}

@@ -15,16 +15,77 @@ type Client struct {
 	nc net.Conn
 	br *bufio.Reader
 	bw *bufio.Writer
+	// Per-request I/O deadlines; zero means none. Set via DialConfig.
+	readTimeout  time.Duration
+	writeTimeout time.Duration
 }
 
-// Dial connects to an ekbtreed server. The returned client is connected but
-// not yet authenticated; call Handshake next.
+// DialConfig tunes how DialWithConfig establishes a connection and the I/O
+// deadlines the resulting client applies per request. The zero value means:
+// one dial attempt with defaultDialTimeout, no request deadlines.
+type DialConfig struct {
+	// DialTimeout bounds each connection attempt; zero means
+	// defaultDialTimeout.
+	DialTimeout time.Duration
+	// DialRetries is how many additional attempts follow a failed dial
+	// (total attempts = DialRetries+1). Zero means fail on the first error.
+	DialRetries int
+	// RetryBackoff is the pause before the first retry, doubling per attempt
+	// and capped at maxRetryBackoff; zero means defaultRetryBackoff.
+	RetryBackoff time.Duration
+	// ReadTimeout bounds waiting for each response; zero means no deadline.
+	// A request that outlives it fails with a net timeout error and the
+	// connection is no longer usable (the protocol is synchronous).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds sending each request; zero means no deadline.
+	WriteTimeout time.Duration
+}
+
+const (
+	defaultDialTimeout  = 5 * time.Second
+	defaultRetryBackoff = 50 * time.Millisecond
+	maxRetryBackoff     = 2 * time.Second
+)
+
+// Dial connects to an ekbtreed server with a single attempt and no request
+// deadlines. The returned client is connected but not yet authenticated; call
+// Handshake next.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
-	nc, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return nil, err
+	return DialWithConfig(addr, DialConfig{DialTimeout: timeout})
+}
+
+// DialWithConfig connects to an ekbtreed server, retrying failed dials with
+// bounded exponential backoff per cfg, and arms the client's per-request I/O
+// deadlines. The returned client is connected but not yet authenticated; call
+// Handshake next.
+func DialWithConfig(addr string, cfg DialConfig) (*Client, error) {
+	dialTimeout := cfg.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = defaultDialTimeout
 	}
-	return NewClient(nc), nil
+	backoff := cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		nc, err := net.DialTimeout("tcp", addr, dialTimeout)
+		if err == nil {
+			c := NewClient(nc)
+			c.readTimeout = cfg.ReadTimeout
+			c.writeTimeout = cfg.WriteTimeout
+			return c, nil
+		}
+		lastErr = err
+		if attempt >= cfg.DialRetries {
+			return nil, lastErr
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > maxRetryBackoff {
+			backoff = maxRetryBackoff
+		}
+	}
 }
 
 // NewClient wraps an established connection (useful for tests and custom
@@ -37,13 +98,24 @@ func NewClient(nc net.Conn) *Client {
 // cursor the connection still holds.
 func (c *Client) Close() error { return c.nc.Close() }
 
-// do sends one request and returns the OK body of its response.
+// do sends one request and returns the OK body of its response, applying the
+// client's per-request deadlines around the write and the response read.
 func (c *Client) do(req Request) ([]byte, error) {
+	if c.writeTimeout > 0 {
+		if err := c.nc.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+			return nil, err
+		}
+	}
 	if err := WriteFrame(c.bw, EncodeRequest(req)); err != nil {
 		return nil, err
 	}
 	if err := c.bw.Flush(); err != nil {
 		return nil, err
+	}
+	if c.readTimeout > 0 {
+		if err := c.nc.SetReadDeadline(time.Now().Add(c.readTimeout)); err != nil {
+			return nil, err
+		}
 	}
 	payload, err := ReadFrame(c.br)
 	if err != nil {

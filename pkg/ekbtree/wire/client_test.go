@@ -1,0 +1,132 @@
+package wire
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestDialRetryConnectsToLateListener covers the reconnect loop: the listener
+// only starts a few backoff periods after the first dial attempt, and
+// DialWithConfig keeps retrying until it lands.
+func TestDialRetryConnectsToLateListener(t *testing.T) {
+	// Reserve a port, then release it so the first attempts are refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	accepted := make(chan struct{})
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		late, err := net.Listen("tcp", addr)
+		if err != nil {
+			return // port stolen between release and rebind; the dial will fail the test
+		}
+		defer late.Close()
+		if nc, err := late.Accept(); err == nil {
+			nc.Close()
+			close(accepted)
+		}
+	}()
+
+	c, err := DialWithConfig(addr, DialConfig{
+		DialTimeout:  time.Second,
+		DialRetries:  50,
+		RetryBackoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("dial never reached the late listener: %v", err)
+	}
+	c.Close()
+	select {
+	case <-accepted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("listener never observed the accepted connection")
+	}
+}
+
+// TestDialRetryExhaustionReturnsLastError covers the bounded side: a dead
+// address with N retries fails after N+1 attempts with the dial error, and the
+// elapsed time shows the backoff pauses actually happened.
+func TestDialRetryExhaustionReturnsLastError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	start := time.Now()
+	_, err = DialWithConfig(addr, DialConfig{
+		DialTimeout:  time.Second,
+		DialRetries:  3,
+		RetryBackoff: 30 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("dial to a released port succeeded")
+	}
+	// 3 retries pause 30+60+120 ms; allow generous slack below the exact sum
+	// for coarse timers but catch a loop that never slept.
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("4 attempts finished in %v; backoff pauses were skipped", elapsed)
+	}
+}
+
+// TestReadTimeoutFailsStalledRequest covers the per-request read deadline: a
+// server that swallows the request and never responds must not hang the
+// client forever.
+func TestReadTimeoutFailsStalledRequest(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	defer srvConn.Close()
+	go func() {
+		// Drain whatever the client writes, reply with nothing.
+		buf := make([]byte, 1024)
+		for {
+			if _, err := srvConn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	c := NewClient(cliConn)
+	c.readTimeout = 100 * time.Millisecond
+	defer c.Close()
+
+	start := time.Now()
+	_, err := c.do(&Hello{Version: ProtocolVersion, Tenant: "t"})
+	if err == nil {
+		t.Fatal("request against a mute server succeeded")
+	}
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("stalled request failed with %v, want a net timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v, deadline not applied", elapsed)
+	}
+}
+
+// TestWriteTimeoutFailsBlockedSend covers the per-request write deadline
+// against a peer that never reads: the synchronous pipe blocks the send until
+// the deadline fires.
+func TestWriteTimeoutFailsBlockedSend(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	defer srvConn.Close()
+	// No reader on srvConn: every write blocks.
+
+	c := NewClient(cliConn)
+	c.writeTimeout = 100 * time.Millisecond
+	defer c.Close()
+
+	_, err := c.do(&Hello{Version: ProtocolVersion, Tenant: "t"})
+	if err == nil {
+		t.Fatal("send to a never-reading server succeeded")
+	}
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("blocked send failed with %v, want a net timeout", err)
+	}
+}

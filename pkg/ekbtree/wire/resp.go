@@ -44,6 +44,11 @@ const (
 	// server's epoch-age bound. The cursor is gone; the client should
 	// reopen one and restart (or resume from the last key it saw).
 	CodeSnapshotTooOld ErrCode = 9
+	// CodeSealsExhausted: the tenant tree's key epoch reached its hard seal
+	// bound with rotation disabled, so writes fail closed rather than risk
+	// nonce reuse. Reads still work; the write is not retryable until the
+	// operator enables rotation or advances the epoch.
+	CodeSealsExhausted ErrCode = 10
 )
 
 // String names the code.
@@ -67,6 +72,8 @@ func (c ErrCode) String() string {
 		return "internal error"
 	case CodeSnapshotTooOld:
 		return "snapshot too old"
+	case CodeSealsExhausted:
+		return "seals exhausted"
 	default:
 		return fmt.Sprintf("error code %d", uint64(c))
 	}
