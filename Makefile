@@ -5,7 +5,7 @@ SHELL := /bin/bash
 BENCH_PKGS = ./internal/btree/ ./internal/store/file/ ./pkg/ekbtree/
 BENCH_NOTE ?= local run
 
-.PHONY: all build binaries vet fmt-check test test-sharded race bench bench-raw bench-smoke bench-server server-smoke fuzz-smoke clean
+.PHONY: all build binaries vet fmt-check test test-sharded race bench bench-raw bench-smoke bench-server server-smoke soak-smoke fuzz-smoke clean
 
 all: vet fmt-check build test
 
@@ -103,12 +103,27 @@ server-smoke: binaries
 	kill -TERM $$pid; wait $$pid; \
 	echo "server-smoke: clean drain exit (shards=$(SERVER_SMOKE_SHARDS))"
 
+# soak-smoke runs the build-tagged `large` ingest/soak tier (see
+# pkg/ekbtree/ekbtree_large_test.go): millions of keys through the sharded
+# file backend with vacuum and epoch rotation interleaved, full oracle
+# readback, and the prefix-vs-full bytes/key comparison. SOAK_KEYS scales it
+# (CI smoke 2M; the nightly tier runs 20M; the knob goes to 100M);
+# SOAK_OUT captures the measured report.
+SOAK_KEYS ?= 2000000
+SOAK_SHARDS ?= 3
+SOAK_OUT ?=
+soak-smoke:
+	EKBTREE_LARGE_KEYS=$(SOAK_KEYS) EKBTREE_LARGE_SHARDS=$(SOAK_SHARDS) \
+	EKBTREE_LARGE_OUT=$(SOAK_OUT) \
+	$(GO) test -tags large -run '^TestLargeIngestSoak$$' -timeout 120m -v ./pkg/ekbtree/
+
 # fuzz-smoke runs each fuzz target briefly (the checked-in seed corpora under
 # internal/*/testdata/fuzz always run as plain tests; this actually mutates).
 # FUZZTIME=5m fuzz-smoke for a longer local session.
 FUZZTIME ?= 15s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/node/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodePrefixTruncated$$' -fuzztime $(FUZZTIME) ./internal/node/
 	$(GO) test -run '^$$' -fuzz '^FuzzSubstituteRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/keysub/
 	$(GO) test -run '^$$' -fuzz '^FuzzSubstituteRange$$' -fuzztime $(FUZZTIME) ./internal/keysub/
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -254,6 +255,20 @@ func (c *conn) dispatch(req wire.Request) []byte {
 			return resp
 		}
 		if err := c.tree.Sync(); err != nil {
+			return encodeEngineErr(err)
+		}
+		return wire.EncodeOK(nil)
+	case *wire.Vacuum:
+		if resp := c.requireTree(); resp != nil {
+			return resp
+		}
+		// A wire target past int64 is indistinguishable from "already
+		// satisfied": clamp instead of erroring.
+		target := int64(math.MaxInt64)
+		if m.Target <= math.MaxInt64 {
+			target = int64(m.Target)
+		}
+		if err := c.tree.Vacuum(target); err != nil {
 			return encodeEngineErr(err)
 		}
 		return wire.EncodeOK(nil)

@@ -47,6 +47,8 @@ func main() {
 		sealBudget   = flag.Int64("seal-budget", 0, "per-epoch page-seal budget per shard before the cipher key epoch rotates (0 = library default, negative = disable rotation)")
 		maxConns     = flag.Int("max-conns", 1024, "maximum concurrent connections (0 = unlimited)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "how long a drain waits for in-flight work")
+		autoVacuum   = flag.Float64("auto-vacuum", 0, "compact a tenant's files online when dead bytes exceed this fraction of their size, e.g. 0.5 (0 = disabled)")
+		vacInterval  = flag.Duration("auto-vacuum-interval", time.Minute, "how often the auto-vacuum sweep re-checks tenants")
 		provision    = flag.String("provision", "", "provision tenant NAME into -tenants and exit")
 		masterHex    = flag.String("master-hex", "", "tenant master key (hex) for -provision")
 	)
@@ -74,6 +76,9 @@ func main() {
 	}
 	if *maxEpochAge < 0 {
 		log.Fatalf("-max-epoch-age %d must be >= 0", *maxEpochAge)
+	}
+	if *autoVacuum < 0 || *autoVacuum >= 1 {
+		log.Fatalf("-auto-vacuum %v must be in [0, 1)", *autoVacuum)
 	}
 	cfg := treeConfig{groupWindow: *groupWindow, shards: *shards, maxEpochAge: *maxEpochAge, sealBudget: *sealBudget}
 	switch *durability {
@@ -107,9 +112,11 @@ func main() {
 	}
 
 	srv := newServer(ln, reg, serverConfig{
-		maxConns:     *maxConns,
-		drainTimeout: *drainTimeout,
-		logf:         log.Printf,
+		maxConns:       *maxConns,
+		drainTimeout:   *drainTimeout,
+		logf:           log.Printf,
+		autoVacuum:     *autoVacuum,
+		vacuumInterval: *vacInterval,
 	})
 
 	serveErr := make(chan error, 1)

@@ -16,6 +16,13 @@ type serverConfig struct {
 	maxConns     int
 	drainTimeout time.Duration
 	logf         func(format string, args ...any)
+	// autoVacuum enables the background space-management sweep: a tenant
+	// tree is compacted when its dead bytes exceed this fraction of its file
+	// footprint (0 = disabled, sensible values are well under 1).
+	autoVacuum float64
+	// vacuumInterval is how often the sweep re-checks tenants; 0 means
+	// defaultVacuumInterval.
+	vacuumInterval time.Duration
 }
 
 // server owns the listener, the connection set, and the drain state machine.
@@ -52,6 +59,10 @@ type server struct {
 	drainOnce sync.Once
 	drainDone chan struct{}
 	drainErr  error
+
+	// Auto-vacuum goroutine lifecycle; both nil when the sweep is disabled.
+	vacuumStop chan struct{}
+	vacuumDone chan struct{}
 }
 
 func newServer(ln net.Listener, reg *registry, cfg serverConfig) *server {
@@ -63,7 +74,7 @@ func newServer(ln net.Listener, reg *registry, cfg serverConfig) *server {
 		// Out of entropy at startup is unrecoverable anyway.
 		panic(err)
 	}
-	return &server{
+	s := &server{
 		cfg:          cfg,
 		reg:          reg,
 		ln:           ln,
@@ -71,6 +82,15 @@ func newServer(ln net.Listener, reg *registry, cfg serverConfig) *server {
 		conns:        make(map[*conn]struct{}),
 		drainDone:    make(chan struct{}),
 	}
+	if cfg.autoVacuum > 0 {
+		s.vacuumStop = make(chan struct{})
+		s.vacuumDone = make(chan struct{})
+		go func() {
+			defer close(s.vacuumDone)
+			s.runAutoVacuum(s.vacuumStop)
+		}()
+	}
+	return s
 }
 
 // serve accepts connections until the listener closes (normally via drain).
@@ -147,6 +167,13 @@ func (s *server) drain() error {
 		// Bounded: every connection's I/O now has an absolute deadline, so
 		// even a wedged peer unblocks its handler by then.
 		s.wg.Wait()
+		// Stop the auto-vacuum sweep before the trees close: an in-flight
+		// vacuum finishes (the trees are still open here), and no new sweep
+		// starts against closing trees.
+		if s.vacuumStop != nil {
+			close(s.vacuumStop)
+			<-s.vacuumDone
+		}
 		s.drainErr = s.reg.closeAll()
 		s.cfg.logf("drain complete")
 		close(s.drainDone)

@@ -89,6 +89,15 @@ func (t *tenant) openTree(dir string, cfg treeConfig) (*ekbtree.Tree, error) {
 	return tree, nil
 }
 
+// openedTree returns the tenant's tree if some connection already opened it,
+// without opening it — the auto-vacuum sweep must not drag cold tenants into
+// memory just to measure them.
+func (t *tenant) openedTree() *ekbtree.Tree {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tree
+}
+
 // closeTree closes the tenant's tree if it was ever opened.
 func (t *tenant) closeTree() error {
 	t.mu.Lock()

@@ -5,13 +5,54 @@ import (
 	"testing"
 )
 
-// FuzzDecode throws arbitrary bytes at the page decoder. Decode must never
-// panic; when it accepts a page, the codec must be canonical: re-encoding
-// the decoded node reproduces the input byte-for-byte, and the decoded node
-// must satisfy the structural invariants Encode enforces.
+// fuzzCanonical is the shared body of both decode fuzz targets: Decode must
+// never panic; when it accepts a page, the codec must be canonical —
+// re-encoding the decoded node in the page's own format reproduces the input
+// byte-for-byte — and the decoded node must satisfy the structural
+// invariants Encode enforces and must not alias the input buffer.
+func fuzzCanonical(t *testing.T, page []byte) {
+	n, err := Decode(page)
+	if err != nil {
+		return
+	}
+	if len(n.Keys) != len(n.Values) {
+		t.Fatalf("decoded %d keys but %d values", len(n.Keys), len(n.Values))
+	}
+	if n.Leaf && len(n.Children) != 0 {
+		t.Fatalf("decoded leaf with %d children", len(n.Children))
+	}
+	if !n.Leaf && len(n.Children) != len(n.Keys)+1 {
+		t.Fatalf("decoded internal node with %d keys but %d children", len(n.Keys), len(n.Children))
+	}
+	format := FormatOf(page)
+	reenc, err := n.EncodeFormat(format)
+	if err != nil {
+		t.Fatalf("re-encode of decoded node failed: %v", err)
+	}
+	if !bytes.Equal(reenc, page) {
+		t.Fatalf("codec not canonical (format %v):\n in  %x\n out %x", format, page, reenc)
+	}
+	if got := n.EncodedSizeFormat(format); got != len(page) {
+		t.Fatalf("EncodedSizeFormat(%v) = %d, page is %d bytes", format, got, len(page))
+	}
+	// The decoded node must not alias the page: clobber the input and
+	// re-encode again.
+	for i := range page {
+		page[i] ^= 0xFF
+	}
+	reenc2, err := n.EncodeFormat(format)
+	if err != nil {
+		t.Fatalf("re-encode after input clobber failed: %v", err)
+	}
+	if !bytes.Equal(reenc, reenc2) {
+		t.Fatal("decoded node aliases the input page")
+	}
+}
+
+// FuzzDecode throws arbitrary bytes at the page decoder, seeded with
+// full-format pages (plus the checked-in corpus under
+// testdata/fuzz/FuzzDecode).
 func FuzzDecode(f *testing.F) {
-	// Seed with valid encodings of representative shapes (plus the checked-in
-	// corpus under testdata/fuzz/FuzzDecode).
 	seeds := []*Node{
 		{Leaf: true},
 		{Leaf: true, Keys: [][]byte{{0x01}}, Values: [][]byte{{0xAA, 0xBB}}},
@@ -39,41 +80,75 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0xEB, 0x01, 0x00, 0x00, 0x00})
 
-	f.Fuzz(func(t *testing.T, page []byte) {
-		n, err := Decode(page)
+	f.Fuzz(fuzzCanonical)
+}
+
+// FuzzDecodePrefixTruncated aims the same canonicality harness at the
+// prefix-truncated format: seeds are prefix-encoded internal and leaf nodes
+// whose keys share long prefixes (the shape substituted separator keys
+// take), plus hand-built near-misses — over-truncation (shared beyond the
+// previous key), under-truncation (a suffix that still matches the previous
+// key), and an unknown flag bit — all of which Decode must reject. The
+// checked-in corpus lives under testdata/fuzz/FuzzDecodePrefixTruncated.
+func FuzzDecodePrefixTruncated(f *testing.F) {
+	seeds := []*Node{
+		{Leaf: true},
+		{
+			Leaf:     false,
+			Keys:     [][]byte{[]byte("bucket00-aaa"), []byte("bucket00-abc"), []byte("bucket01-a")},
+			Values:   [][]byte{[]byte("s0"), {}, []byte("s2")},
+			Children: []uint64{1, 2, 3, ^uint64(0)},
+		},
+		{
+			Leaf:   true,
+			Keys:   [][]byte{{}, {0x00}, {0x00, 0x00}, {0x00, 0x01}},
+			Values: [][]byte{{}, {0xA0}, {0xA1}, {0xA2}},
+		},
+		{
+			Leaf: false,
+			Keys: [][]byte{
+				bytes.Repeat([]byte{0x42}, 24),
+				append(bytes.Repeat([]byte{0x42}, 23), 0x43),
+			},
+			Values:   [][]byte{[]byte("sep-a"), []byte("sep-b")},
+			Children: []uint64{10, 11, 1 << 50},
+		},
+		// Adjacent identical prefixes but shrinking keys: shared can equal
+		// the whole next key (empty suffix).
+		{
+			Leaf:   true,
+			Keys:   [][]byte{[]byte("prefix-long"), []byte("prefix-longer")},
+			Values: [][]byte{{0x01}, {0x02}},
+		},
+	}
+	for _, n := range seeds {
+		page, err := n.EncodeFormat(FormatPrefix)
 		if err != nil {
-			return
+			f.Fatal(err)
 		}
-		if len(n.Keys) != len(n.Values) {
-			t.Fatalf("decoded %d keys but %d values", len(n.Keys), len(n.Values))
-		}
-		if n.Leaf && len(n.Children) != 0 {
-			t.Fatalf("decoded leaf with %d children", len(n.Children))
-		}
-		if !n.Leaf && len(n.Children) != len(n.Keys)+1 {
-			t.Fatalf("decoded internal node with %d keys but %d children", len(n.Keys), len(n.Children))
-		}
-		reenc, err := n.Encode()
-		if err != nil {
-			t.Fatalf("re-encode of decoded node failed: %v", err)
-		}
-		if !bytes.Equal(reenc, page) {
-			t.Fatalf("codec not canonical:\n in  %x\n out %x", page, reenc)
-		}
-		if got := n.EncodedSize(); got != len(page) {
-			t.Fatalf("EncodedSize = %d, page is %d bytes", got, len(page))
-		}
-		// The decoded node must not alias the page: clobber the input and
-		// re-encode again.
-		for i := range page {
-			page[i] ^= 0xFF
-		}
-		reenc2, err := n.Encode()
-		if err != nil {
-			t.Fatalf("re-encode after input clobber failed: %v", err)
-		}
-		if !bytes.Equal(reenc, reenc2) {
-			t.Fatal("decoded node aliases the input page")
-		}
-	})
+		f.Add(page)
+	}
+	// Near-misses, from a valid two-key prefix page: keys "ab", "ac" encode
+	// as (0,2,"ab"), (1,1,"c").
+	valid, err := (&Node{
+		Leaf:   true,
+		Keys:   [][]byte{[]byte("ab"), []byte("ac")},
+		Values: [][]byte{{}, {}},
+	}).EncodeFormat(FormatPrefix)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	overShared := append([]byte(nil), valid...)
+	overShared[headerSize+4+2] = 0x00
+	overShared[headerSize+4+2+1] = 0x03 // shared=3 > len("ab")
+	f.Add(overShared)
+	underShared := append([]byte(nil), valid...)
+	underShared[headerSize+4+2+3+1] = 'b' // suffix "b" still matches prev[1]
+	f.Add(underShared)
+	unknownFlag := append([]byte(nil), valid...)
+	unknownFlag[2] |= 1 << 5
+	f.Add(unknownFlag)
+
+	f.Fuzz(fuzzCanonical)
 }

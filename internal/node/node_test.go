@@ -139,6 +139,165 @@ func TestDecodeDoesNotAliasPage(t *testing.T) {
 	}
 }
 
+// TestPrefixFormatRoundTrip proves the prefix-truncated format is a lossless
+// re-encoding: every node round-trips through FormatPrefix, the page carries
+// the prefix flag, and for the prefix-sharing key shapes the substituter
+// produces it is strictly smaller than the full format.
+func TestPrefixFormatRoundTrip(t *testing.T) {
+	shared := &Node{
+		Keys: [][]byte{
+			[]byte("bucket0017-user-000041"),
+			[]byte("bucket0017-user-000389"),
+			[]byte("bucket0017-user-001022"),
+			[]byte("bucket0018-user-000007"),
+		},
+		Values:   [][]byte{{0x01}, {0x02}, {0x03}, {0x04}},
+		Children: []uint64{1, 2, 3, 4, 5},
+	}
+	tests := []struct {
+		name        string
+		n           *Node
+		wantSmaller bool
+	}{
+		{"empty leaf", &Node{Leaf: true}, false},
+		{"shared-prefix internal", shared, true},
+		{"disjoint keys", &Node{
+			Leaf:   true,
+			Keys:   [][]byte{{0x00}, {0x80}, {0xFF}},
+			Values: [][]byte{{}, {}, {}},
+		}, false},
+		// Short shared prefixes lose to the extra 2B/key of record overhead;
+		// the format must still round-trip, it just isn't smaller.
+		{"empty-suffix key", &Node{
+			Leaf:   true,
+			Keys:   [][]byte{[]byte("abc"), []byte("abcd")},
+			Values: [][]byte{{}, {}},
+		}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			page, err := tt.n.EncodeFormat(FormatPrefix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(page) != tt.n.EncodedSizeFormat(FormatPrefix) {
+				t.Errorf("len(page) = %d, EncodedSizeFormat = %d", len(page), tt.n.EncodedSizeFormat(FormatPrefix))
+			}
+			if FormatOf(page) != FormatPrefix {
+				t.Error("prefix page not flagged as FormatPrefix")
+			}
+			full, err := tt.n.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if FormatOf(full) != FormatFull {
+				t.Error("full page not reported as FormatFull")
+			}
+			if tt.wantSmaller && len(page) >= len(full) {
+				t.Errorf("prefix page %dB not smaller than full page %dB", len(page), len(full))
+			}
+			got, err := Decode(page)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !nodesEqual(got, tt.n) {
+				t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, tt.n)
+			}
+		})
+	}
+}
+
+// TestPrefixDecodeRejectsNonCanonical pins the fail-closed rules of the
+// prefix format: over-truncation (shared reaching past the previous key),
+// under-truncation (a suffix whose first byte the encoder would have
+// shared), a nonzero shared on the first key, a reconstructed key past
+// MaxKeyLen, and unknown flag bits must all return ErrDecode.
+func TestPrefixDecodeRejectsNonCanonical(t *testing.T) {
+	// Keys "ab","ac" encode as header, (0,2,"ab"), (1,1,"c"), then values.
+	valid, err := (&Node{
+		Leaf:   true,
+		Keys:   [][]byte{[]byte("ab"), []byte("ac")},
+		Values: [][]byte{{}, {}},
+	}).EncodeFormat(FormatPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(valid); err != nil {
+		t.Fatalf("baseline page rejected: %v", err)
+	}
+	mut := func(idx int, b byte) []byte {
+		p := append([]byte(nil), valid...)
+		p[idx] = b
+		return p
+	}
+	tests := []struct {
+		name string
+		page []byte
+	}{
+		{"over-truncated", mut(headerSize+7, 3)},     // key2 shared=3 > len("ab")
+		{"under-truncated", mut(headerSize+10, 'b')}, // key2 suffix "b" matches prev[1]
+		{"first key shared", mut(headerSize+1, 1)},
+		{"unknown flag bit", mut(2, valid[2]|1<<5)},
+		{"truncated suffix", valid[:len(valid)-9]},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(tt.page); !errors.Is(err, ErrDecode) {
+				t.Errorf("Decode = %v, want ErrDecode", err)
+			}
+		})
+	}
+
+	t.Run("reconstructed key too long", func(t *testing.T) {
+		// Two max-length suffix records whose sum exceeds MaxKeyLen.
+		var p []byte
+		p = append(p, magic, version, flagLeaf|flagPrefix, 0x00, 0x02)
+		p = append(p, 0x00, 0x00, 0xFF, 0xFF)
+		p = append(p, bytes.Repeat([]byte{0xAA}, MaxKeyLen)...)
+		p = append(p, 0xFF, 0xFF, 0x00, 0x01, 0xBB)
+		p = append(p, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00) // two empty values
+		if _, err := Decode(p); !errors.Is(err, ErrDecode) {
+			t.Errorf("Decode = %v, want ErrDecode", err)
+		}
+	})
+}
+
+// TestPrefixDecodeArenaIsolation verifies the reconstructed keys are
+// capacity-clipped slices of one arena: appending to any decoded key must
+// not clobber its neighbors, and none of them may alias the input page.
+func TestPrefixDecodeArenaIsolation(t *testing.T) {
+	n := &Node{
+		Leaf:   true,
+		Keys:   [][]byte{[]byte("shared-a"), []byte("shared-b"), []byte("shared-c")},
+		Values: [][]byte{[]byte("v1"), []byte("v2"), []byte("v3")},
+	}
+	page, err := n.EncodeFormat(FormatPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range page {
+		page[i] = 0xFF
+	}
+	for i := range got.Keys {
+		got.Keys[i] = append(got.Keys[i], 0xEE)
+		got.Values[i] = append(got.Values[i], 0xEE)
+	}
+	for i, want := range n.Keys {
+		if !bytes.Equal(got.Keys[i][:len(want)], want) {
+			t.Errorf("key %d corrupted after neighbor appends: %q", i, got.Keys[i])
+		}
+	}
+	for i, want := range n.Values {
+		if !bytes.Equal(got.Values[i][:len(want)], want) {
+			t.Errorf("value %d corrupted after neighbor appends: %q", i, got.Values[i])
+		}
+	}
+}
+
 func TestSearch(t *testing.T) {
 	n := &Node{
 		Leaf:   true,

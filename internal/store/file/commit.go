@@ -25,19 +25,42 @@ const fullHold = 100 * time.Microsecond
 // directory blob, one slot flip, two fsyncs), and a crash yields a prefix of
 // flushed groups, never part of one.
 type group struct {
-	writes   map[uint64][]byte // latest applied content per page
-	frees    map[uint64]bool   // pages deleted from the state below this group
-	root     uint64
-	meta     []byte
-	setMeta  bool
-	mark     store.SealMark
-	setMark  bool
-	count    int       // commits coalesced into this group
-	bytes    int       // payload size, for backpressure
-	birth    time.Time // first enqueue, anchors the Grouped window
-	held     time.Time // when the committer first considered taking it (Full hold)
-	resolved bool      // res already delivered (fail-stop path)
-	res      *flushResult
+	writes  map[uint64][]byte // latest applied content per page
+	frees   map[uint64]bool   // pages deleted from the state below this group
+	root    uint64
+	meta    []byte
+	setMeta bool
+	mark    store.SealMark
+	setMark bool
+	// reloc marks writes enqueued by Vacuum: byte-identical to the page's
+	// durable extent, present only to move it downward. flushGroup places
+	// them with allocBelow and silently drops any that cannot move strictly
+	// toward the front (the durable bytes are already correct). A normal
+	// write or free to the same id clears the mark — real content always
+	// wins over a relocation.
+	reloc map[uint64]bool
+	// lift marks reloc writes that may land ANYWHERE — the frontier included —
+	// instead of being dropped when no hole below fits. Vacuum's lift phase
+	// uses them to evacuate the live extent sitting directly above a hole, so
+	// the freed extent coalesces with that hole and downward packing can
+	// resume; termination then comes from Vacuum's per-round frontier check
+	// rather than the strictly-decreasing-offsets invariant.
+	lift map[uint64]bool
+	// vacuum marks a group that carries (or carried) a vacuum step, even one
+	// whose writes were all cleared or that was empty to begin with: the flush
+	// then steers its directory blob toward the front too, which is the only
+	// way the directory itself ever migrates out of the tail.
+	vacuum bool
+	// relocated counts reloc writes the flush actually moved. Written by the
+	// committer before res.done closes, read by Vacuum after — the channel
+	// publishes it — to decide whether another pass can still make progress.
+	relocated int
+	count     int       // commits coalesced into this group
+	bytes     int       // payload size, for backpressure
+	birth     time.Time // first enqueue, anchors the Grouped window
+	held      time.Time // when the committer first considered taking it (Full hold)
+	resolved  bool      // res already delivered (fail-stop path)
+	res       *flushResult
 }
 
 // flushResult carries one group's flush outcome to everyone waiting on it:
@@ -50,8 +73,9 @@ type flushResult struct {
 
 // enqueueLocked merges one commit into the pending group, creating it if this
 // is the first commit since the last take. The caller holds s.mu and has
-// already checked closed/failed and validated the request.
-func (s *Store) enqueueLocked(writes map[uint64][]byte, root uint64, frees []uint64, meta []byte, setMeta bool, mark *store.SealMark) *flushResult {
+// already checked closed/failed and validated the request. reloc marks the
+// writes as vacuum relocations (see group.reloc).
+func (s *Store) enqueueLocked(writes map[uint64][]byte, root uint64, frees []uint64, meta []byte, setMeta bool, mark *store.SealMark, reloc, lift bool) *flushResult {
 	g := s.pending
 	if g == nil {
 		g = &group{
@@ -63,6 +87,9 @@ func (s *Store) enqueueLocked(writes map[uint64][]byte, root uint64, frees []uin
 		}
 		s.pending = g
 	}
+	if reloc {
+		g.vacuum = true
+	}
 	for id, p := range writes {
 		if old, ok := g.writes[id]; ok {
 			g.bytes -= len(old)
@@ -71,12 +98,31 @@ func (s *Store) enqueueLocked(writes map[uint64][]byte, root uint64, frees []uin
 		g.bytes += len(p)
 		// A page freed earlier in the group and rewritten now is live again.
 		delete(g.frees, id)
+		if reloc {
+			if g.reloc == nil {
+				g.reloc = make(map[uint64]bool, len(writes))
+			}
+			g.reloc[id] = true
+			if lift {
+				if g.lift == nil {
+					g.lift = make(map[uint64]bool, len(writes))
+				}
+				g.lift[id] = true
+			} else {
+				delete(g.lift, id)
+			}
+		} else {
+			delete(g.reloc, id)
+			delete(g.lift, id)
+		}
 	}
 	for _, id := range frees {
 		if old, ok := g.writes[id]; ok {
 			delete(g.writes, id)
 			g.bytes -= len(old)
 		}
+		delete(g.reloc, id)
+		delete(g.lift, id)
 		// Only pages that exist below this group need a tombstone; a page
 		// born and freed within the group simply vanishes.
 		if s.liveBelowPendingLocked(id) {
@@ -173,7 +219,7 @@ func (s *Store) commit(writes map[uint64][]byte, root uint64, frees []uint64, me
 		defer s.mu.Unlock()
 		return s.failedErrLocked()
 	}
-	res := s.enqueueLocked(writes, root, frees, meta, setMeta, mark)
+	res := s.enqueueLocked(writes, root, frees, meta, setMeta, mark, false, false)
 	return s.finish(res)
 }
 
@@ -341,6 +387,7 @@ func (s *Store) drain() {
 
 		ns, err := s.flushGroup(g, nextID)
 
+		shrunk := false
 		s.mu.Lock()
 		if err != nil {
 			// Fail stop: the group's commits were already visible (and, off
@@ -353,12 +400,30 @@ func (s *Store) drain() {
 			s.ferr = err
 			g.resolved = true
 		} else {
+			shrunk = ns.fileEnd < s.fileEnd
 			s.pages, s.free, s.meta, s.root = ns.pages, ns.free, ns.meta, ns.root
 			s.mark = ns.mark
 			s.txid, s.cur, s.dirExt, s.fileEnd = ns.txid, ns.cur, ns.dirExt, ns.fileEnd
 			s.flushing = nil
 		}
 		s.mu.Unlock()
+		if err == nil && shrunk {
+			// Physically release the tail the frontier retreated over. This
+			// runs strictly after the install above: any reader still inside
+			// ReadPage when the install took the lock had already finished,
+			// and readers admitted since resolve extents that all end at or
+			// below the new frontier — nothing can be mid-read in the cut
+			// region. Correctness never depends on the truncate (the durable
+			// state ignores bytes past fileEnd), but a truncate error means a
+			// sick device, so it fail-stops the store like any flush error.
+			if err = s.truncateTo(ns.fileEnd); err != nil {
+				s.mu.Lock()
+				s.failed = true
+				s.ferr = err
+				g.resolved = true
+				s.mu.Unlock()
+			}
+		}
 		g.res.err = err
 		close(g.res.done)
 		if err != nil {
@@ -404,6 +469,36 @@ func (s *Store) flushGroup(g *group, nextID uint64) (durableState, error) {
 		}
 	}
 	for id, page := range g.writes {
+		if g.reloc[id] {
+			// Vacuum relocation: byte-identical to the durable extent, so it
+			// only earns a write if it can land strictly below its current
+			// offset. Otherwise drop it — the durable bytes already stand,
+			// and dropping (rather than appending at the frontier) is what
+			// guarantees Vacuum's pack phase terminates: every performed
+			// relocation strictly decreases the sum of live extent offsets.
+			// Lift relocations are the exception: they exist to evacuate the
+			// extent above a hole, so when nothing below fits they land via
+			// normal allocation — the frontier if need be — and Vacuum's
+			// per-round frontier check bounds them instead.
+			cur, ok := newPages[id]
+			if !ok {
+				continue
+			}
+			ext, fits := avail.allocBelow(uint32(len(page)), cur.off)
+			if !fits {
+				if !g.lift[id] {
+					continue
+				}
+				ext = avail.allocExtent(&newEnd, uint32(len(page)))
+			}
+			if _, err := s.f.WriteAt(page, ext.off); err != nil {
+				return ns, fmt.Errorf("file: write page %d: %w", id, err)
+			}
+			pending = append(pending, cur)
+			newPages[id] = ext
+			g.relocated++
+			continue
+		}
 		if e, ok := newPages[id]; ok {
 			pending = append(pending, e)
 		}
@@ -429,7 +524,24 @@ func (s *Store) flushGroup(g *group, nextID uint64) (durableState, error) {
 	if s.dirExt.len > 0 {
 		ubFree++
 	}
-	dirExt := avail.allocExtent(&newEnd, uint32(dirSize(len(newPages), ubFree, len(newMeta))))
+	dirLen := uint32(dirSize(len(newPages), ubFree, len(newMeta)))
+	var dirExt extent
+	if g.vacuum {
+		// A vacuum flush also steers its directory blob toward the front —
+		// but only STRICTLY below its current extent. Shadow paging forces the
+		// directory to move every flush (its live extent is off-limits until
+		// the flip), so without the strict bound repeated vacuum flushes just
+		// ping-pong the directory between two dir-sized holes, sometimes
+		// ending in the higher one. With it, the directory only ever descends;
+		// when it can't, normal best-fit placement applies.
+		if e, ok := avail.allocBelow(dirLen, s.dirExt.off); ok {
+			dirExt = e
+		} else {
+			dirExt = avail.allocExtent(&newEnd, dirLen)
+		}
+	} else {
+		dirExt = avail.allocExtent(&newEnd, dirLen)
+	}
 	newFree := avail.appendTo(make([]extent, 0, ubFree))
 	newFree = append(newFree, pending...)
 	if s.dirExt.len > 0 {

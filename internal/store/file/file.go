@@ -707,6 +707,38 @@ func (fi *freeIndex) alloc(n uint32) (extent, bool) {
 	return got, true
 }
 
+// allocBelow carves n bytes from the free extent with the LOWEST offset that
+// fits and starts strictly below limit, returning false when none does. It
+// trades the bucket probe for a full scan — vacuum relocations want data to
+// migrate toward the front of the file, not to the best-fitting hole — and
+// only vacuum-marked writes pay for it.
+func (fi *freeIndex) allocBelow(n uint32, limit int64) (extent, bool) {
+	if n == 0 || fi.n == 0 {
+		return extent{}, false
+	}
+	bestB, bestI := -1, -1
+	var bestOff int64
+	for b := bucketOf(n); b < len(fi.buckets); b++ {
+		if fi.nonEmpty&(1<<b) == 0 {
+			continue
+		}
+		for i, e := range fi.buckets[b] {
+			if e.len >= n && e.off < limit && (bestB < 0 || e.off < bestOff) {
+				bestB, bestI, bestOff = b, i, e.off
+			}
+		}
+	}
+	if bestB < 0 {
+		return extent{}, false
+	}
+	e := fi.take(bestB, bestI)
+	got := extent{off: e.off, len: n}
+	if e.len > n {
+		fi.add(extent{off: e.off + int64(n), len: e.len - n})
+	}
+	return got, true
+}
+
 // allocExtent carves n bytes out of the index or extends the append frontier.
 func (fi *freeIndex) allocExtent(end *int64, n uint32) extent {
 	if e, ok := fi.alloc(n); ok {
@@ -795,7 +827,7 @@ func (s *Store) Free(id uint64) error {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: page %d", store.ErrNotFound, id)
 	}
-	res := s.enqueueLocked(nil, s.aroot, []uint64{id}, nil, false, nil)
+	res := s.enqueueLocked(nil, s.aroot, []uint64{id}, nil, false, nil, false, false)
 	return s.finish(res)
 }
 
@@ -920,4 +952,20 @@ func (s *Store) Txid() uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.txid
+}
+
+// Space reports the durable on-disk footprint: fileBytes is the append
+// frontier (the physical file size once any truncate lands — no durable
+// extent ends beyond it), liveBytes the bytes actually referenced by live
+// pages plus the directory blob. The gap between them is reclaimable
+// garbage; Vacuum closes it. Implements store.Spacer.
+func (s *Store) Space() (fileBytes, liveBytes int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fileBytes = s.fileEnd
+	liveBytes = int64(s.dirExt.len)
+	for _, e := range s.pages {
+		liveBytes += int64(e.len)
+	}
+	return fileBytes, liveBytes
 }

@@ -1,0 +1,405 @@
+package file
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/paper-repro/ekbtree/internal/store"
+)
+
+// vacuumBatchBytes bounds one relocation batch's payload, so a vacuum pass
+// interleaves with foreground commits in modest slices instead of staging the
+// whole tail of the file in one group.
+const vacuumBatchBytes = 1 << 20
+
+// vacuumRetries bounds how often one batch re-runs selection after a
+// concurrent flush invalidated it before giving up on the pass. Flushes take
+// fsyncs; the unlocked window a flush must hit is microseconds — in practice
+// a retry or two only happens under saturating write load.
+const vacuumRetries = 16
+
+// truncater is the optional backing-file extension the store uses to
+// physically release the tail once the append frontier retreats. *os.File
+// implements it; fault-injection test wrappers opt in so crash sweeps cover
+// the truncate too. Files without it still shrink logically — the bytes past
+// fileEnd are simply dead.
+type truncater interface{ Truncate(size int64) error }
+
+func (s *Store) truncateTo(end int64) error {
+	t, ok := s.f.(truncater)
+	if !ok {
+		return nil
+	}
+	if err := t.Truncate(end); err != nil {
+		return fmt.Errorf("file: truncate to %d (%w): %v", end, ErrFailed, err)
+	}
+	return nil
+}
+
+// Vacuum relocates live page extents downward into free space and truncates
+// the file, until the durable file end is at or below target bytes or no
+// round can improve it further (target 0 compacts as far as the layout
+// allows). Implements store.Vacuumer.
+//
+// Every relocation batch is an ordinary shadow-paged group commit whose
+// writes are byte-identical to the pages' durable extents: a crash at any
+// byte of it leaves exactly the pre- or post-batch state — which are the
+// same LOGICAL state — and concurrent readers and writers proceed
+// throughout, their commits coalescing into the same groups. A page with an
+// in-flight overlay write is skipped (the newer content wins and lands
+// wherever its own flush puts it).
+//
+// Each round has two phases. The PACK phase moves pages strictly downward
+// into holes that fit them; a relocation that cannot move its page toward
+// the front is dropped at flush time, so each performed relocation strictly
+// decreases the sum of live extent offsets and the phase terminates. Pack
+// alone can strand arbitrary free space, though: with size-diverse pages a
+// layout converges to holes each smaller than every page above them. The
+// LIFT phase breaks that deadlock by evacuating the live extent sitting
+// directly above the lowest holes to wherever normal allocation puts it —
+// the frontier included — so the freed extent coalesces with its hole into
+// one packing can use. Lift moves may grow the file transiently, and a round
+// can make real progress without yet lowering the durable frontier — merging
+// holes (fewer free extents) or migrating a sub-page remainder hole upward
+// toward the frontier where truncation finally swallows it (higher hole
+// offsets). The round loop therefore tracks the lexicographic progress
+// triple (frontier, free-extent count, -sum of free-extent offsets) and
+// stops after several consecutive rounds improve none of it; each component
+// is bounded, so the pass terminates, with a generous absolute round cap as
+// the backstop against a foreground write load that keeps reshaping the
+// layout mid-pass.
+func (s *Store) Vacuum(target int64) error {
+	if target < dataStart {
+		target = dataStart
+	}
+	const maxRounds = 256
+	bestEnd := int64(1)<<62 - 1
+	bestFree, bestHoleSum := int(^uint(0)>>1), int64(-1)
+	stale := 0
+	for round := 0; round < maxRounds; round++ {
+		// Pack: strictly-downward relocation until no batch improves.
+		for {
+			moved, err := s.vacuumStep(target)
+			if err != nil {
+				return err
+			}
+			if !moved {
+				break
+			}
+		}
+		end, nfree, holeSum, err := s.vacuumProgress()
+		if err != nil {
+			return err
+		}
+		if end <= target {
+			return nil
+		}
+		switch {
+		case end < bestEnd:
+			bestEnd, bestFree, bestHoleSum, stale = end, nfree, holeSum, 0
+		case end == bestEnd && nfree < bestFree:
+			bestFree, bestHoleSum, stale = nfree, holeSum, 0
+		case end == bestEnd && nfree == bestFree && holeSum > bestHoleSum:
+			bestHoleSum, stale = holeSum, 0
+		default:
+			if stale++; stale >= 4 {
+				return nil // this layout's floor
+			}
+		}
+		lifted, err := s.liftStep()
+		if err != nil {
+			return err
+		}
+		if !lifted {
+			return nil
+		}
+	}
+	return nil
+}
+
+// vacuumProgress reads the durable frontier, free-extent count, and the sum
+// of free-extent offsets — the components of Vacuum's progress measure —
+// surfacing close/fail-stop.
+func (s *Store) vacuumProgress() (end int64, nfree int, holeSum int64, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, 0, 0, store.ErrClosed
+	}
+	if s.failed {
+		return 0, 0, 0, s.failedErrLocked()
+	}
+	for _, f := range s.free {
+		holeSum += f.off
+	}
+	return s.fileEnd, len(s.free), holeSum, nil
+}
+
+// vacuumStep relocates one batch, reporting whether it moved anything (so
+// the caller knows another step could still help).
+func (s *Store) vacuumStep(target int64) (bool, error) {
+	type cand struct {
+		id  uint64
+		ext extent
+	}
+	for attempt := 0; attempt < vacuumRetries; attempt++ {
+		// Select from the durable tail: the pages whose extents reach past
+		// target, highest offsets first — clearing the tail is what lets the
+		// frontier retreat and the truncate land. Pages with overlay state
+		// (pending/flushing writes or frees) are in flight and skipped.
+		s.mu.RLock()
+		if s.closed {
+			s.mu.RUnlock()
+			return false, store.ErrClosed
+		}
+		if s.failed {
+			defer s.mu.RUnlock()
+			return false, s.failedErrLocked()
+		}
+		if s.fileEnd <= target {
+			s.mu.RUnlock()
+			return false, nil
+		}
+		var cands []cand
+		for id, e := range s.pages {
+			if e.end() > target && s.vacuumQuietLocked(id) {
+				cands = append(cands, cand{id, e})
+			}
+		}
+		// No movable pages past target doesn't mean the tail is clear: the
+		// directory blob can still hold the frontier up. A page-less vacuum
+		// flush re-places the directory (flushGroup only ever lets it
+		// DESCEND) and retreats the frontier — but it's only worth a flush
+		// when the durable free list shows a hole the directory fits in
+		// strictly below its current extent; otherwise the flush would just
+		// shuffle the directory between equal-height holes forever.
+		dirDescend := false
+		for _, e := range s.free {
+			if e.len >= s.dirExt.len && e.off < s.dirExt.off {
+				dirDescend = true
+				break
+			}
+		}
+		frees := append([]extent(nil), s.free...)
+		selTxid, preEnd := s.txid, s.fileEnd
+		s.mu.RUnlock()
+
+		// Keep only candidates some durable free hole strictly below them can
+		// actually fit: sweep frees and candidates upward by offset, tracking
+		// the largest hole seen so far. Candidates may still compete for the
+		// same hole at flush time — losers are dropped there — but whenever
+		// this filter passes anything, the flush relocates at least one page,
+		// and a fully-compacted store never pays for a no-op flush.
+		sort.Slice(frees, func(i, j int) bool { return frees[i].off < frees[j].off })
+		sort.Slice(cands, func(i, j int) bool { return cands[i].ext.off < cands[j].ext.off })
+		movable, fi, maxHole := cands[:0], 0, uint32(0)
+		for _, c := range cands {
+			for fi < len(frees) && frees[fi].off < c.ext.off {
+				if frees[fi].len > maxHole {
+					maxHole = frees[fi].len
+				}
+				fi++
+			}
+			if maxHole >= c.ext.len {
+				movable = append(movable, c)
+			}
+		}
+		cands = movable
+		if len(cands) == 0 && !dirDescend {
+			return false, nil
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].ext.off > cands[j].ext.off })
+		batch, total := cands[:0], 0
+		for _, c := range cands {
+			batch = append(batch, c)
+			if total += int(c.ext.len); total >= vacuumBatchBytes {
+				break
+			}
+		}
+
+		// Read the live bytes without the lock: a flush never writes into an
+		// extent the durable directory references, so as long as no flush
+		// has INSTALLED since selection (txid unchanged, checked below),
+		// these reads are of stable bytes. A flush already in flight when we
+		// re-lock started from the same durable state and so also leaves
+		// them alone.
+		writes := make(map[uint64][]byte, len(batch))
+		for _, c := range batch {
+			buf := make([]byte, c.ext.len)
+			if _, err := s.f.ReadAt(buf, c.ext.off); err != nil {
+				return false, fmt.Errorf("file: vacuum read page %d: %w", c.id, err)
+			}
+			writes[c.id] = buf
+		}
+
+		s.mu.Lock()
+		s.waitCapacityLocked()
+		if s.closed {
+			s.mu.Unlock()
+			return false, store.ErrClosed
+		}
+		if s.failed {
+			defer s.mu.Unlock()
+			return false, s.failedErrLocked()
+		}
+		if s.txid != selTxid {
+			// A flush installed while we were reading (or waiting for
+			// capacity): the batch's mappings — and possibly the bytes under
+			// recycled extents — are stale. Reselect.
+			s.mu.Unlock()
+			continue
+		}
+		// Durable mappings are exactly as selected; drop only pages that
+		// gained overlay state since (their relocation would clobber the
+		// newer applied content in the group).
+		for id := range writes {
+			if !s.vacuumQuietLocked(id) {
+				delete(writes, id)
+			}
+		}
+		if len(writes) == 0 && !dirDescend {
+			s.mu.Unlock()
+			return false, nil
+		}
+		res := s.enqueueLocked(writes, rootUnchanged, nil, nil, false, nil, true, false)
+		g := s.pending
+		s.force = true // a relocation batch flushes now in every mode
+		s.mu.Unlock()
+		s.wake()
+		<-res.done
+		if res.err != nil {
+			return false, res.err
+		}
+		if g.relocated > 0 {
+			return true, nil
+		}
+		s.mu.RLock()
+		retreated := !s.closed && !s.failed && s.fileEnd < preEnd
+		s.mu.RUnlock()
+		return retreated, nil
+	}
+	return false, nil
+}
+
+// liftStep relocates one batch of "stuck" pages — each the live extent
+// sitting directly above a free hole — to wherever allocation puts them
+// (allocBelow when something fits, the frontier otherwise), so each freed
+// extent coalesces with its hole and the pack phase gets holes it can use.
+// Reports whether it moved anything. Same selection/retry discipline as
+// vacuumStep: durable-state selection under RLock, lock-free reads of stable
+// bytes, txid-capture revalidation before enqueueing.
+func (s *Store) liftStep() (bool, error) {
+	type cand struct {
+		id  uint64
+		ext extent
+	}
+	for attempt := 0; attempt < vacuumRetries; attempt++ {
+		s.mu.RLock()
+		if s.closed {
+			s.mu.RUnlock()
+			return false, store.ErrClosed
+		}
+		if s.failed {
+			defer s.mu.RUnlock()
+			return false, s.failedErrLocked()
+		}
+		starts := make(map[int64]uint64, len(s.pages))
+		for id, e := range s.pages {
+			starts[e.off] = id
+		}
+		frees := append([]extent(nil), s.free...)
+		sort.Slice(frees, func(i, j int) bool { return frees[i].off < frees[j].off })
+		// Lowest holes first: the deepest merges unlock the most packing.
+		// A hole with no page directly above it sits under the directory,
+		// the frontier, or an in-flight extent — skip it; the directory
+		// re-places itself on every vacuum flush anyway. Walk up to a few
+		// consecutive pages above each hole so one round grows the merged
+		// hole by several page-heights — sub-page remainder holes migrate
+		// toward the frontier that much faster.
+		const liftPerHole = 8
+		var batch []cand
+		total := 0
+		for _, f := range frees {
+			at := f.end()
+			for n := 0; n < liftPerHole && total < vacuumBatchBytes; n++ {
+				id, ok := starts[at]
+				if !ok || !s.vacuumQuietLocked(id) {
+					break
+				}
+				e := s.pages[id]
+				batch = append(batch, cand{id, e})
+				total += int(e.len)
+				at = e.end()
+			}
+			if total >= vacuumBatchBytes {
+				break
+			}
+		}
+		selTxid := s.txid
+		s.mu.RUnlock()
+		if len(batch) == 0 {
+			return false, nil
+		}
+
+		writes := make(map[uint64][]byte, len(batch))
+		for _, c := range batch {
+			buf := make([]byte, c.ext.len)
+			if _, err := s.f.ReadAt(buf, c.ext.off); err != nil {
+				return false, fmt.Errorf("file: vacuum lift read page %d: %w", c.id, err)
+			}
+			writes[c.id] = buf
+		}
+
+		s.mu.Lock()
+		s.waitCapacityLocked()
+		if s.closed {
+			s.mu.Unlock()
+			return false, store.ErrClosed
+		}
+		if s.failed {
+			defer s.mu.Unlock()
+			return false, s.failedErrLocked()
+		}
+		if s.txid != selTxid {
+			s.mu.Unlock()
+			continue
+		}
+		for id := range writes {
+			if !s.vacuumQuietLocked(id) {
+				delete(writes, id)
+			}
+		}
+		if len(writes) == 0 {
+			s.mu.Unlock()
+			return false, nil
+		}
+		res := s.enqueueLocked(writes, rootUnchanged, nil, nil, false, nil, true, true)
+		g := s.pending
+		s.force = true
+		s.mu.Unlock()
+		s.wake()
+		<-res.done
+		if res.err != nil {
+			return false, res.err
+		}
+		return g.relocated > 0, nil
+	}
+	return false, nil
+}
+
+// vacuumQuietLocked reports whether id has no in-flight overlay state.
+// Callers hold s.mu (either mode).
+func (s *Store) vacuumQuietLocked(id uint64) bool {
+	for _, g := range [...]*group{s.pending, s.flushing} {
+		if g == nil {
+			continue
+		}
+		if g.frees[id] {
+			return false
+		}
+		if _, ok := g.writes[id]; ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,398 @@
+package file
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// buildGarbage fills a store with live pages and then churns them —
+// overwrites and frees — so the file carries substantial reclaimable
+// garbage between and after the live extents.
+func buildGarbage(t *testing.T, s *Store) []uint64 {
+	t.Helper()
+	var ids []uint64
+	for i := 0; i < 48; i++ {
+		id, err := s.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	page := func(i, gen int) []byte {
+		return bytes.Repeat([]byte{byte(i), byte(gen)}, 40+17*(i%7))
+	}
+	writes := make(map[uint64][]byte)
+	for i, id := range ids {
+		writes[id] = page(i, 0)
+	}
+	if err := s.SetMeta([]byte("vacuum-test-header")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CommitPages(writes, ids[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	// Churn: several generations of overwrites push live extents toward the
+	// tail, then frees punch holes.
+	for gen := 1; gen <= 12; gen++ {
+		w := make(map[uint64][]byte)
+		for i, id := range ids {
+			if (i+gen)%3 == 0 {
+				w[id] = page(i, gen)
+			}
+		}
+		if err := s.CommitPages(w, ids[0], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var frees []uint64
+	for i, id := range ids[8:] {
+		if i%4 == 0 {
+			frees = append(frees, id)
+		}
+	}
+	if err := s.CommitPages(nil, ids[0], frees); err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+// TestVacuumShrinksFile is the basic contract: vacuum compacts a churned
+// store toward its live size, physically truncates the backing file, leaves
+// the logical state bit-identical, and survives a close/reopen.
+func TestVacuumShrinksFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vac.ekb")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildGarbage(t, s)
+	pre := snapshotState(t, s)
+	fileBefore, liveBefore := s.Space()
+	if fileBefore <= liveBefore+int64(liveBefore/4) {
+		t.Fatalf("churn did not create enough garbage: file=%d live=%d", fileBefore, liveBefore)
+	}
+
+	if err := s.Vacuum(0); err != nil {
+		t.Fatal(err)
+	}
+	fileAfter, liveAfter := s.Space()
+	// Live bytes stay essentially flat: page extents are untouched, only the
+	// directory blob — part of live bytes — may resize with free-list shape.
+	if drift := liveAfter - liveBefore; drift > liveBefore/8 || drift < -liveBefore/8 {
+		t.Errorf("vacuum drifted live bytes: %d -> %d", liveBefore, liveAfter)
+	}
+	if fileAfter >= fileBefore {
+		t.Errorf("vacuum did not shrink the file: %d -> %d", fileBefore, fileAfter)
+	}
+	// The dominant garbage must be gone: compaction cannot reach the exact
+	// live size — holes smaller than the smallest page are unfillable, and
+	// the directory can only descend into a single hole that fits it whole —
+	// but it must reclaim well over half the garbage.
+	if fileAfter > liveAfter+(fileBefore-liveBefore)/2 {
+		t.Errorf("vacuum left too much slack: file=%d live=%d (was file=%d)", fileAfter, liveAfter, fileBefore)
+	}
+	if got := snapshotState(t, s); !reflect.DeepEqual(got, pre) {
+		t.Fatal("vacuum changed the logical state")
+	}
+	// The physical file shrank with the frontier.
+	if fi, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	} else if fi.Size() != fileAfter {
+		t.Errorf("physical size %d, durable fileEnd %d", fi.Size(), fileAfter)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := snapshotState(t, re); !reflect.DeepEqual(got, pre) {
+		t.Fatal("reopened state diverged after vacuum")
+	}
+	// Vacuum with nothing to reclaim is a cheap no-op.
+	before, _ := re.Space()
+	if err := re.Vacuum(before); err != nil {
+		t.Fatal(err)
+	}
+	if after, _ := re.Space(); after != before {
+		t.Errorf("target-satisfied vacuum moved the frontier: %d -> %d", before, after)
+	}
+}
+
+// TestVacuumLiftUnsticksFragmentedLayout builds the layout that defeats pure
+// downward packing — alternating big live pages and small holes, every hole
+// smaller than every page — and asserts Vacuum still converges near the live
+// size: the lift phase evacuates the page above a hole so the freed extent
+// coalesces with it into one packing can use.
+func TestVacuumLiftUnsticksFragmentedLayout(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vaclift.ekb")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Pairs of (big, small) pages laid out in allocation order, then every
+	// small page freed: ~300-byte holes between ~2000-byte pages, so no page
+	// fits any hole and allocBelow can never move anything.
+	var big, small []uint64
+	writes := make(map[uint64][]byte)
+	for i := 0; i < 40; i++ {
+		b, err := s.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm, err := s.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, small = append(big, b), append(small, sm)
+		writes[b] = bytes.Repeat([]byte{byte(i)}, 2000)
+		writes[sm] = bytes.Repeat([]byte{byte(i), 0xEE}, 150)
+	}
+	if err := s.SetMeta([]byte("lift-test-header")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CommitPages(writes, big[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CommitPages(nil, big[0], small); err != nil {
+		t.Fatal(err)
+	}
+	pre := snapshotState(t, s)
+	fileBefore, liveBefore := s.Space()
+	if fileBefore < liveBefore+10*1024 {
+		t.Fatalf("fixture created too little garbage: file=%d live=%d", fileBefore, liveBefore)
+	}
+
+	if err := s.Vacuum(0); err != nil {
+		t.Fatal(err)
+	}
+	fileAfter, liveAfter := s.Space()
+	// Near-tight: lift+pack rounds must reclaim the stranded holes, not stall
+	// on the first stuck layout. Allowance covers the directory descent floor
+	// and sub-page remainders.
+	if slack := fileAfter - liveAfter; slack > (fileBefore-liveBefore)/4+int64(s.dirLenForTest()) {
+		t.Errorf("lift left the layout stuck: file=%d live=%d slack=%d (garbage was %d)",
+			fileAfter, liveAfter, slack, fileBefore-liveBefore)
+	}
+	if got := snapshotState(t, s); !reflect.DeepEqual(got, pre) {
+		t.Fatal("lift vacuum changed the logical state")
+	}
+	if fi, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	} else if fi.Size() != fileAfter {
+		t.Errorf("physical size %d, durable fileEnd %d", fi.Size(), fileAfter)
+	}
+}
+
+// dirLenForTest exposes the current directory blob size to test allowances.
+func (s *Store) dirLenForTest() uint32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dirExt.len
+}
+
+// TestVacuumTarget verifies vacuum treats target as a stopping bound: it
+// makes real progress toward it but does not keep compacting a store whose
+// frontier already satisfies it. Target is best-effort from above — the
+// directory blob can only descend into a single hole that fits it whole, so
+// the pass may stall a directory-sized allowance short of the target.
+func TestVacuumTarget(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vactgt.ekb")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	buildGarbage(t, s)
+	fileBefore, liveBefore := s.Space()
+	target := liveBefore + (fileBefore-liveBefore)/2
+	if err := s.Vacuum(target); err != nil {
+		t.Fatal(err)
+	}
+	fileAfter, _ := s.Space()
+	if fileAfter >= fileBefore {
+		t.Errorf("targeted vacuum made no progress: %d -> %d", fileBefore, fileAfter)
+	}
+	s.mu.RLock()
+	allow := int64(s.dirExt.len) + 1024
+	s.mu.RUnlock()
+	if fileAfter > target+allow {
+		t.Errorf("vacuum stopped at %d, target %d (+%d allowance)", fileAfter, target, allow)
+	}
+}
+
+// TestVacuumConcurrentWithCommits runs a vacuum loop against concurrent
+// writers and asserts nothing logically breaks: every committed write
+// remains readable with its final content.
+func TestVacuumConcurrentWithCommits(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vaccc.ekb")
+	s, err := OpenConfig(path, Config{Durability: Grouped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := buildGarbage(t, s)
+
+	const rounds = 60
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			w := make(map[uint64][]byte)
+			for i, id := range ids[:8] {
+				w[id] = []byte(fmt.Sprintf("writer-%d-%d-%s", i, r, bytes.Repeat([]byte{0xCC}, 50)))
+			}
+			if err := s.CommitPages(w, ids[0], nil); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 10; r++ {
+			if err := s.Vacuum(0); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids[:8] {
+		want := fmt.Sprintf("writer-%d-%d-%s", i, rounds-1, bytes.Repeat([]byte{0xCC}, 50))
+		got, err := s.ReadPage(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want {
+			t.Fatalf("page %d lost its final write under concurrent vacuum", id)
+		}
+	}
+	post := snapshotState(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := snapshotState(t, re); !reflect.DeepEqual(got, post) {
+		t.Fatal("reopened state diverged after concurrent vacuum")
+	}
+}
+
+// truncFaultFile extends faultFile with a fault-countable Truncate, so the
+// vacuum sweep covers the physical-shrink step as a crash point too.
+type truncFaultFile struct{ *faultFile }
+
+func (tf truncFaultFile) Truncate(size int64) error {
+	tf.mu.Lock()
+	defer tf.mu.Unlock()
+	if !tf.step() {
+		return errInjected
+	}
+	return tf.f.Truncate(size)
+}
+
+// TestVacuumAtomicityUnderFaults is the crash-consistency proof for vacuum:
+// for every failure point during a full vacuum pass — each WriteAt, Sync,
+// and Truncate, with and without a torn trailing write — reopening the file
+// yields EXACTLY the pre-vacuum logical state (relocation never changes the
+// logical state, so pre and post coincide), the file never shrinks below its
+// live bytes, and re-running vacuum after the reopen converges.
+func TestVacuumAtomicityUnderFaults(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.ekb")
+	s, err := Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildGarbage(t, s)
+	pre := snapshotState(t, s)
+	_, liveBytes := s.Space()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	baseInfo, err := os.Stat(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, torn := range []int{0, 7} {
+		for n := 0; ; n++ {
+			work := filepath.Join(dir, fmt.Sprintf("work-%d-%d.ekb", torn, n))
+			copyFile(t, base, work)
+			rf, err := os.OpenFile(work, os.O_RDWR, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ff := truncFaultFile{&faultFile{f: rf, remaining: n, torn: torn, syncsAreOp: true}}
+			fs, err := OpenWith(ff)
+			if err != nil {
+				t.Fatalf("torn=%d n=%d: open with fault file: %v", torn, n, err)
+			}
+			verr := fs.Vacuum(0)
+			fs.Close()
+
+			re, err := Open(work)
+			if err != nil {
+				t.Fatalf("torn=%d n=%d: reopen after injected fault: %v", torn, n, err)
+			}
+			if got := snapshotState(t, re); !reflect.DeepEqual(got, pre) {
+				t.Fatalf("torn=%d n=%d: logical state changed across faulted vacuum", torn, n)
+			}
+			reFile, reLive := re.Space()
+			// Page extents are byte-stable (snapshotState above proved the
+			// content); only the directory blob may resize across flushes.
+			if drift := reLive - liveBytes; drift > liveBytes/8 || drift < -liveBytes/8 {
+				t.Fatalf("torn=%d n=%d: live bytes drifted: %d -> %d", torn, n, liveBytes, reLive)
+			}
+			if reFile < reLive {
+				t.Fatalf("torn=%d n=%d: frontier %d below live bytes %d", torn, n, reFile, reLive)
+			}
+			if fi, err := os.Stat(work); err != nil {
+				t.Fatal(err)
+			} else if fi.Size() < reFile {
+				t.Fatalf("torn=%d n=%d: physical file %d shorter than frontier %d", torn, n, fi.Size(), reFile)
+			}
+			// Retry converges: a clean vacuum after the crash still compacts,
+			// and the state still matches.
+			if err := re.Vacuum(0); err != nil {
+				t.Fatalf("torn=%d n=%d: vacuum retry: %v", torn, n, err)
+			}
+			if got := snapshotState(t, re); !reflect.DeepEqual(got, pre) {
+				t.Fatalf("torn=%d n=%d: retry vacuum changed the logical state", torn, n)
+			}
+			retryEnd, _ := re.Space()
+			if retryEnd >= baseInfo.Size() {
+				t.Fatalf("torn=%d n=%d: retry vacuum reclaimed nothing (%d >= %d)", torn, n, retryEnd, baseInfo.Size())
+			}
+			re.Close()
+			os.Remove(work)
+
+			if verr == nil {
+				break // n exceeded the pass's op count: full sweep done
+			}
+		}
+	}
+}

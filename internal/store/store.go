@@ -112,6 +112,23 @@ type PageStore interface {
 	Close() error
 }
 
+// Vacuumer is the optional PageStore extension for stores with a physical
+// layout worth compacting. Vacuum relocates live data toward the front of
+// the backing storage and releases the tail, until the footprint is at or
+// below target bytes or no further improvement is possible; it runs
+// concurrently with reads and commits and never changes the logical state.
+// Stores without reclaimable layout (like Mem) simply don't implement it.
+type Vacuumer interface {
+	Vacuum(target int64) error
+}
+
+// Spacer is the optional PageStore extension reporting the physical
+// footprint: fileBytes is the total backing-storage size, liveBytes the
+// portion referenced by live data. The gap is what a Vacuum could reclaim.
+type Spacer interface {
+	Space() (fileBytes, liveBytes int64)
+}
+
 // Mem is an in-memory PageStore.
 type Mem struct {
 	mu     sync.RWMutex

@@ -197,7 +197,35 @@ type Options struct {
 	// engine default (2^32); values above 2^56 are clamped. Ignored for
 	// non-epoch ciphers.
 	SealHardLimit uint64
+	// NodeEncoding selects the on-page node format; see the NodeEncoding
+	// constants. The zero value (EncodingAuto) writes new trees with
+	// common-prefix truncation and reopens existing trees with whatever
+	// format their sealed header records. The resolved encoding is part of
+	// the header, so a tree never silently mixes formats: requesting one
+	// explicitly against a tree written with the other fails with
+	// ErrConfigMismatch.
+	NodeEncoding NodeEncoding
 }
+
+// NodeEncoding selects how node pages lay out their keys; see
+// Options.NodeEncoding.
+type NodeEncoding int
+
+const (
+	// EncodingAuto (the default) resolves to EncodingPrefix for freshly
+	// created trees and to the sealed header's recorded format for existing
+	// ones, so reopening never mismatches.
+	EncodingAuto NodeEncoding = iota
+	// EncodingPrefix stores each key as (shared-prefix length, suffix)
+	// against its left neighbor within the node. Substituters that preserve
+	// key locality (e.g. the bucketed scheme) produce long shared runs, and
+	// sorted nodes always share at least what the key distribution gives —
+	// typically a large on-disk saving at a negligible decode cost.
+	EncodingPrefix
+	// EncodingFull stores every key in full, byte-identical to trees written
+	// before prefix truncation existed.
+	EncodingFull
+)
 
 // DefaultSealBudget is the per-epoch seal budget when Options.SealBudget is
 // zero: 2^30 page seals per shard before the key epoch rotates. Far below
@@ -273,6 +301,11 @@ func (o Options) validate() (order int, sub keysub.Substituter, nc cipher.NodeCi
 	}
 	if o.MaxEpochAge < 0 {
 		return 0, nil, nil, 0, 0, fmt.Errorf("%w: negative MaxEpochAge", ErrInvalidOptions)
+	}
+	switch o.NodeEncoding {
+	case EncodingAuto, EncodingPrefix, EncodingFull:
+	default:
+		return 0, nil, nil, 0, 0, fmt.Errorf("%w: unknown NodeEncoding %d", ErrInvalidOptions, int(o.NodeEncoding))
 	}
 	shards = o.Shards
 	switch {
@@ -453,18 +486,29 @@ func Open(opts Options) (*Tree, error) {
 		}
 		return nil, mapErr(err)
 	}
+	enc := opts.NodeEncoding
 	for i := 0; i < shards; i++ {
 		st, err := openShardStore(opts, i, shards)
 		if err != nil {
 			return fail(err)
 		}
-		if err := checkHeader(st, nc, sub, order, i, shards); err != nil {
+		format, err := checkHeader(st, nc, sub, order, i, shards, enc)
+		if err != nil {
 			if ownStore {
 				st.Close()
 			}
 			return fail(err)
 		}
-		cfg := engine.Config{Store: st, Cipher: nc, Order: order, CachePages: cachePages}
+		// Shard 0 resolves EncodingAuto; the remaining shards must then match
+		// it exactly, so a shard set with mixed node formats fails closed with
+		// ErrConfigMismatch instead of opening half-truncated.
+		if enc == EncodingAuto {
+			enc = EncodingFull
+			if format == node.FormatPrefix {
+				enc = EncodingPrefix
+			}
+		}
+		cfg := engine.Config{Store: st, Cipher: nc, Order: order, CachePages: cachePages, NodeFormat: format}
 		if epochCipher {
 			cfg.SealBudget = sealBudget
 			cfg.HardSealLimit = opts.SealHardLimit
@@ -584,38 +628,66 @@ func (t *Tree) AdvanceEpoch() error {
 // from Alloc are always greater.
 const metaPageID = store.NoRoot
 
+// encPrefixToken is the header suffix recording prefix-truncated node
+// encoding. Full encoding records NO token, keeping headers byte-identical
+// to trees written before prefix truncation existed.
+const encPrefixToken = " enc=prefix"
+
 // checkHeader validates an existing store's engine header against the opened
-// configuration, or writes one into a fresh store. The header is sealed with
-// the node cipher, so opening an existing store with the wrong key fails
-// here, fast and closed, instead of on the first Get. For sharded trees the
-// header additionally seals the shard's index and the total shard count, so
-// a file can never be opened as part of a differently-sharded tree (or as a
-// different shard of the same tree); single-shard headers are byte-identical
-// to pre-sharding versions, keeping existing files openable.
-func checkHeader(st store.PageStore, nc cipher.NodeCipher, sub keysub.Substituter, order, idx, total int) error {
-	want := fmt.Sprintf("ekbtree/1 order=%d keysub=%s cipher=%s", order, sub.Name(), nc.Name())
+// configuration, or writes one into a fresh store, and returns the resolved
+// node format. The header is sealed with the node cipher, so opening an
+// existing store with the wrong key fails here, fast and closed, instead of
+// on the first Get. For sharded trees the header additionally seals the
+// shard's index and the total shard count, so a file can never be opened as
+// part of a differently-sharded tree (or as a different shard of the same
+// tree); single-shard full-encoding headers are byte-identical to
+// pre-sharding versions, keeping existing files openable.
+//
+// The node encoding rides the header too: enc resolves against it (fresh
+// stores take EncodingAuto as prefix; existing stores resolve Auto from the
+// recorded format), so a tree never mixes formats and an explicit request
+// against a differently-encoded tree fails with ErrConfigMismatch.
+func checkHeader(st store.PageStore, nc cipher.NodeCipher, sub keysub.Substituter, order, idx, total int, enc NodeEncoding) (node.Format, error) {
+	base := fmt.Sprintf("ekbtree/1 order=%d keysub=%s cipher=%s", order, sub.Name(), nc.Name())
 	if total > 1 {
-		want += fmt.Sprintf(" shards=%d/%d", idx, total)
+		base += fmt.Sprintf(" shards=%d/%d", idx, total)
 	}
 	meta, err := st.Meta()
 	if err != nil {
-		return err
+		return node.FormatFull, err
 	}
 	if len(meta) == 0 {
+		want, format := base+encPrefixToken, node.FormatPrefix
+		if enc == EncodingFull {
+			want, format = base, node.FormatFull
+		}
 		sealed, err := nc.Seal(metaPageID, []byte(want))
 		if err != nil {
-			return err
+			return node.FormatFull, err
 		}
-		return st.SetMeta(sealed)
+		return format, st.SetMeta(sealed)
 	}
 	got, err := nc.Open(metaPageID, meta)
 	if err != nil {
-		return fmt.Errorf("%w: cannot open store header: %v", ErrWrongKey, err)
+		return node.FormatFull, fmt.Errorf("%w: cannot open store header: %v", ErrWrongKey, err)
+	}
+	if enc == EncodingAuto {
+		switch string(got) {
+		case base:
+			return node.FormatFull, nil
+		case base + encPrefixToken:
+			return node.FormatPrefix, nil
+		}
+		return node.FormatFull, fmt.Errorf("%w: store was written with %q, opened with %q", ErrConfigMismatch, got, base)
+	}
+	want, format := base, node.FormatFull
+	if enc == EncodingPrefix {
+		want, format = base+encPrefixToken, node.FormatPrefix
 	}
 	if string(got) != want {
-		return fmt.Errorf("%w: store was written with %q, opened with %q", ErrConfigMismatch, got, want)
+		return node.FormatFull, fmt.Errorf("%w: store was written with %q, opened with %q", ErrConfigMismatch, got, want)
 	}
-	return nil
+	return format, nil
 }
 
 // substituteKey maps a plaintext key to its substituted form, defensively
@@ -774,6 +846,13 @@ type Stats struct {
 	// the backlog the background rotator is draining. Zero once rotation
 	// has converged.
 	PagesPendingReseal int
+	// FileBytes is the total backing-file size, summed across shards. Zero
+	// for stores without a physical layout (the in-memory backend).
+	FileBytes int64
+	// LiveBytes is the portion of FileBytes referenced by live pages and
+	// store metadata, summed across shards. FileBytes - LiveBytes is the
+	// garbage a Vacuum could reclaim.
+	LiveBytes int64
 }
 
 // Stats reports tree shape, cache counters, and commit-pipeline counters,
@@ -805,8 +884,33 @@ func (t *Tree) Stats() (Stats, error) {
 		}
 		agg.Seals += s.Seals
 		agg.PagesPendingReseal += s.PagesPendingReseal
+		agg.FileBytes += s.FileBytes
+		agg.LiveBytes += s.LiveBytes
 	}
 	return agg, nil
+}
+
+// Vacuum compacts the backing store(s) down toward target bytes total:
+// live page extents relocate toward the front of each shard's file and the
+// tail is physically truncated, until the footprint is at or below target or
+// no batch can improve it further (0 compacts as far as each layout allows).
+// The target is split evenly across shards. Every relocation batch rides the
+// ordinary shadow-paged commit pipeline, so vacuum runs concurrently with
+// reads and writes, never changes tree contents, and a crash at any byte of
+// it leaves a normal pre-or-post-batch state — no recovery protocol, and
+// re-running Vacuum after a crash simply converges. A no-op for stores
+// without reclaimable layout (the in-memory backend).
+func (t *Tree) Vacuum(target int64) error {
+	if target < 0 {
+		return fmt.Errorf("%w: negative vacuum target", ErrInvalidOptions)
+	}
+	per := target / int64(len(t.shards))
+	for _, g := range t.shards {
+		if err := g.Vacuum(per); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Sync blocks until every write acknowledged before the call is durable on

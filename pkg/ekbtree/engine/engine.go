@@ -7,6 +7,7 @@ import (
 
 	"github.com/paper-repro/ekbtree/internal/btree"
 	"github.com/paper-repro/ekbtree/internal/cipher"
+	"github.com/paper-repro/ekbtree/internal/node"
 	"github.com/paper-repro/ekbtree/internal/store"
 )
 
@@ -26,6 +27,11 @@ type Config struct {
 	Order int
 	// CachePages caps the decoded-node cache; 0 disables it.
 	CachePages int
+	// NodeFormat is the page format every node is encoded with before
+	// sealing; the zero value is the legacy full-key format. Reads
+	// auto-detect per page. The façade resolves this from the tree header so
+	// one tree never mixes formats.
+	NodeFormat node.Format
 
 	// SealBudget is the soft per-epoch seal budget: once an epoch has issued
 	// this many counters, the next commit advances to a fresh key epoch (and
@@ -88,6 +94,7 @@ func New(cfg Config) (*Engine, error) {
 		es:  newEpochs(root),
 		deg: cfg.Order / 2,
 	}
+	g.io.fmt = cfg.NodeFormat
 	if g.io.es != nil {
 		sa, err := newSealAlloc(cfg.Store, cfg.SealBudget, cfg.HardSealLimit,
 			cfg.CounterBase, cfg.OnEpochAdvance)
@@ -340,6 +347,11 @@ type Stats struct {
 	CipherEpoch        uint32 // key epoch new seals are issued under
 	Seals              uint64 // counters issued within the current epoch
 	PagesPendingReseal int    // live pages still sealed under an older epoch
+
+	// Physical-footprint gauges; zero when the store doesn't report space
+	// (the in-memory store has no file to measure).
+	FileBytes int64 // backing-file size
+	LiveBytes int64 // bytes referenced by live pages and metadata
 }
 
 // Stats reports shard shape, cache counters, and commit-pipeline counters.
@@ -366,7 +378,33 @@ func (g *Engine) Stats() (Stats, error) {
 	if out.PagesPendingReseal, err = g.PendingReseal(); err != nil {
 		return Stats{}, MapErr(err)
 	}
+	out.FileBytes, out.LiveBytes = g.Space()
 	return out, nil
+}
+
+// Space reports the shard's physical footprint when the store measures one
+// (store.Spacer); stores without a physical layout report zeros.
+func (g *Engine) Space() (fileBytes, liveBytes int64) {
+	if sp, ok := g.st.(store.Spacer); ok && !g.es.isClosed() {
+		return sp.Space()
+	}
+	return 0, 0
+}
+
+// Vacuum compacts the shard's backing store toward target bytes when the
+// store supports it (store.Vacuumer); for stores without reclaimable layout
+// it is a no-op. It runs concurrently with reads and writes — relocations
+// ride the store's ordinary commit pipeline — and never changes tree
+// contents.
+func (g *Engine) Vacuum(target int64) error {
+	if g.es.isClosed() {
+		return ErrClosed
+	}
+	v, ok := g.st.(store.Vacuumer)
+	if !ok {
+		return nil
+	}
+	return MapErr(v.Vacuum(target))
 }
 
 // Sync blocks until every write acknowledged before the call is durable on

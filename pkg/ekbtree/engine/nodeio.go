@@ -45,6 +45,11 @@ type CacheStats struct {
 type nodeIO struct {
 	st store.PageStore
 	nc cipher.NodeCipher
+	// fmt is the page format every seal encodes with (Config.NodeFormat; the
+	// zero value is the legacy full-key format). Reads auto-detect per page,
+	// so a store written under one format opens fine under another — the
+	// façade's header check is what keeps a tree from silently mixing them.
+	fmt node.Format
 	// es is nc's EpochSealer extension when it has one, nil otherwise. With
 	// it set, transactional seals go through sealEpoch with engine-allocated
 	// (epoch, counter) nonces; without it, the legacy Seal path applies.
@@ -193,7 +198,7 @@ func (io *nodeIO) Write(id uint64, n *node.Node) error {
 // seal encodes and seals one node into a store-ready page via the cipher's
 // legacy (scheme-chosen nonce) path.
 func (io *nodeIO) seal(id uint64, n *node.Node) ([]byte, error) {
-	pt, err := n.Encode()
+	pt, err := n.EncodeFormat(io.fmt)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +208,7 @@ func (io *nodeIO) seal(id uint64, n *node.Node) ([]byte, error) {
 // sealEpoch encodes and seals one node under an engine-allocated
 // (epoch, counter) nonce. Callers guarantee the pair is never reused.
 func (io *nodeIO) sealEpoch(id uint64, n *node.Node, epoch uint32, counter uint64) ([]byte, error) {
-	pt, err := n.Encode()
+	pt, err := n.EncodeFormat(io.fmt)
 	if err != nil {
 		return nil, err
 	}

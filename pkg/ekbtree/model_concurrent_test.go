@@ -227,9 +227,25 @@ func TestModelConcurrentWriters(t *testing.T) {
 			Shards:     3,
 		})
 	})
+	// Vacuum legs: a background compactor relocates live extents while the
+	// optimistic writers commit genuinely in parallel — the hardest traffic
+	// the vacuum's retry/skip machinery faces in-process.
+	t.Run("vacuum/file/grouped", func(t *testing.T) {
+		runConcurrentWriters(t, Options{
+			Path:       filepath.Join(t.TempDir(), "model.ekb"),
+			Durability: DurabilityGrouped,
+		}, vacuumLoop)
+	})
+	t.Run("vacuum/file/grouped/shards=3", func(t *testing.T) {
+		runConcurrentWriters(t, Options{
+			Path:       filepath.Join(t.TempDir(), "model.ekb"),
+			Durability: DurabilityGrouped,
+			Shards:     3,
+		}, vacuumLoop)
+	})
 }
 
-func runConcurrentWriters(t *testing.T, opts Options) {
+func runConcurrentWriters(t *testing.T, opts Options, background ...func(*Tree, <-chan struct{}, func(string, ...interface{}))) {
 	commitsPerWriter := cwConfig(opts)
 	fileBacked := opts.Path != ""
 	seed := time.Now().UnixNano()
@@ -510,6 +526,15 @@ func runConcurrentWriters(t *testing.T, opts Options) {
 			last = s
 		}
 	}()
+
+	for _, bg := range background {
+		bg := bg
+		readersWG.Add(1)
+		go func() {
+			defer readersWG.Done()
+			bg(tr, stop, fail)
+		}()
+	}
 
 	wg.Wait()
 	close(stop)

@@ -194,6 +194,48 @@ func TestModelConcurrency(t *testing.T) {
 		}
 		runModel(t, epochModelOpts(t, opts, 192), true)
 	})
+	// Vacuum legs: a background compactor races the whole harness, so live
+	// relocation commits interleave with writers, readers, and pinned scans.
+	// The file legs exercise real extent relocation and truncation; the
+	// in-memory legs prove the no-op path stays safe under identical traffic.
+	// Both shard counts run, so per-shard vacuums overlap per-shard commits.
+	t.Run("vacuum", func(t *testing.T) {
+		runModel(t, Options{}, false, vacuumLoop)
+	})
+	t.Run("vacuum/shards=3", func(t *testing.T) {
+		runModel(t, Options{Shards: 3}, false, vacuumLoop)
+	})
+	t.Run("vacuum/file/grouped", func(t *testing.T) {
+		opts := Options{
+			Path:       filepath.Join(t.TempDir(), "model.ekb"),
+			Durability: DurabilityGrouped,
+		}
+		runModel(t, opts, true, vacuumLoop)
+	})
+	t.Run("vacuum/file/grouped/shards=3", func(t *testing.T) {
+		opts := Options{
+			Path:       filepath.Join(t.TempDir(), "model.ekb"),
+			Durability: DurabilityGrouped,
+			Shards:     3,
+		}
+		runModel(t, opts, true, vacuumLoop)
+	})
+}
+
+// vacuumLoop is the background hook for the vacuum model legs: it compacts
+// the tree repeatedly while the harness runs, until the stop signal.
+func vacuumLoop(tr *Tree, stop <-chan struct{}, fail func(string, ...interface{})) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(2 * time.Millisecond):
+		}
+		if err := tr.Vacuum(0); err != nil {
+			fail("background vacuum: %v", err)
+			return
+		}
+	}
 }
 
 // epochModelOpts arms opts with the epoch-keyed cipher and a seal budget, for
@@ -209,7 +251,10 @@ func epochModelOpts(t *testing.T, opts Options, budget int64) Options {
 	return opts
 }
 
-func runModel(t *testing.T, opts Options, fileBacked bool) {
+// runModel drives one harness run. Any background hooks run alongside the
+// readers for the whole window between open and writer quiescence — the
+// vacuum legs use this to race compaction against the oracle.
+func runModel(t *testing.T, opts Options, fileBacked bool, background ...func(*Tree, <-chan struct{}, func(string, ...interface{}))) {
 	cfg := modelConfig(t, fileBacked)
 	seed := time.Now().UnixNano()
 	if env := os.Getenv("EKBTREE_MODEL_SEED"); env != "" {
@@ -476,6 +521,15 @@ func runModel(t *testing.T, opts Options, fileBacked bool) {
 				}
 			}
 		}(s)
+	}
+
+	for _, bg := range background {
+		bg := bg
+		readersWG.Add(1)
+		go func() {
+			defer readersWG.Done()
+			bg(tr, stop, fail)
+		}()
 	}
 
 	wg.Wait() // writers done

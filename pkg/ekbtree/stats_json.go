@@ -25,6 +25,10 @@ type statsJSON struct {
 	CipherEpoch        uint32 `json:"cipher_epoch,omitempty"`
 	Seals              uint64 `json:"seals,omitempty"`
 	PagesPendingReseal int    `json:"pages_pending_reseal,omitempty"`
+	// Physical-footprint gauges, omitted when zero (in-memory trees and
+	// pre-vacuum parsers see the previous shape unchanged).
+	FileBytes int64 `json:"file_bytes,omitempty"`
+	LiveBytes int64 `json:"live_bytes,omitempty"`
 }
 
 type cacheStatsJSON struct {
@@ -46,6 +50,7 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		Shards:      s.Shards,
 		CipherEpoch: s.CipherEpoch, Seals: s.Seals,
 		PagesPendingReseal: s.PagesPendingReseal,
+		FileBytes:          s.FileBytes, LiveBytes: s.LiveBytes,
 	})
 }
 
@@ -67,6 +72,7 @@ func (s *Stats) UnmarshalJSON(b []byte) error {
 		Shards:      j.Shards,
 		CipherEpoch: j.CipherEpoch, Seals: j.Seals,
 		PagesPendingReseal: j.PagesPendingReseal,
+		FileBytes:          j.FileBytes, LiveBytes: j.LiveBytes,
 	}
 	return nil
 }
@@ -85,6 +91,9 @@ func (s Stats) String() string {
 	if s.CipherEpoch > 0 || s.Seals > 0 || s.PagesPendingReseal > 0 {
 		out += fmt.Sprintf(" epoch=%d seals=%d pending_reseal=%d",
 			s.CipherEpoch, s.Seals, s.PagesPendingReseal)
+	}
+	if s.FileBytes > 0 || s.LiveBytes > 0 {
+		out += fmt.Sprintf(" file_bytes=%d live_bytes=%d", s.FileBytes, s.LiveBytes)
 	}
 	return out
 }

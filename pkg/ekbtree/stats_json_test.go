@@ -13,6 +13,7 @@ func TestStatsJSONRoundTrip(t *testing.T) {
 		Cache:   CacheStats{Hits: 100, Misses: 20, Evictions: 5, Pages: 64},
 		Commits: 9, Conflicts: 2, Retries: 3,
 		CipherEpoch: 2, Seals: 1234, PagesPendingReseal: 11,
+		FileBytes: 1 << 20, LiveBytes: 900 << 10,
 	}
 	b, err := json.Marshal(want)
 	if err != nil {
@@ -23,6 +24,7 @@ func TestStatsJSONRoundTrip(t *testing.T) {
 		`"keys":42`, `"nodes":7`, `"height":3`, `"hits":100`, `"misses":20`,
 		`"evictions":5`, `"pages":64`, `"commits":9`, `"conflicts":2`, `"retries":3`,
 		`"cipher_epoch":2`, `"seals":1234`, `"pages_pending_reseal":11`,
+		`"file_bytes":1048576`, `"live_bytes":921600`,
 	} {
 		if !strings.Contains(string(b), field) {
 			t.Errorf("marshaled stats %s missing %s", b, field)
@@ -115,9 +117,21 @@ func TestStatsString(t *testing.T) {
 	if strings.Contains(str, "epoch=") {
 		t.Errorf("String() = %q shows epoch state for a legacy-cipher tree", str)
 	}
+	// Footprint fields only render for stores that measure one; the
+	// in-memory backend's zeros stay out of the string.
+	if strings.Contains(str, "file_bytes=") {
+		t.Errorf("String() = %q shows footprint for an in-memory tree", str)
+	}
 	s = Stats{Keys: 1, CipherEpoch: 3, Seals: 17, PagesPendingReseal: 2}
 	str = s.String()
 	for _, part := range []string{"epoch=3", "seals=17", "pending_reseal=2"} {
+		if !strings.Contains(str, part) {
+			t.Errorf("String() = %q missing %q", str, part)
+		}
+	}
+	s = Stats{Keys: 1, FileBytes: 4096, LiveBytes: 2048}
+	str = s.String()
+	for _, part := range []string{"file_bytes=4096", "live_bytes=2048"} {
 		if !strings.Contains(str, part) {
 			t.Errorf("String() = %q missing %q", str, part)
 		}

@@ -1,0 +1,271 @@
+package ekbtree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/paper-repro/ekbtree/internal/keysub"
+)
+
+// TestNodeEncodingResolution pins the header contract around the node
+// format: fresh trees default to prefix truncation, EncodingAuto resolves an
+// existing tree from its sealed header, and an explicit request against a
+// tree written with the other format fails closed with ErrConfigMismatch.
+func TestNodeEncodingResolution(t *testing.T) {
+	master := bytes.Repeat([]byte{0x77}, 32)
+	fill := func(tr *Tree) {
+		t.Helper()
+		for i := 0; i < 200; i++ {
+			if err := tr.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("val-%04d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, tc := range []struct {
+		name     string
+		created  NodeEncoding // written at create time
+		matches  NodeEncoding // explicit reopen that must succeed
+		mismatch NodeEncoding // explicit reopen that must fail closed
+	}{
+		{"default-is-prefix", EncodingAuto, EncodingPrefix, EncodingFull},
+		{"explicit-full", EncodingFull, EncodingFull, EncodingPrefix},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "enc.ekb")
+			tr, err := Open(Options{MasterKey: master, Path: path, NodeEncoding: tc.created})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fill(tr)
+			want := scanAll(t, tr)
+			if err := tr.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Auto always reopens: the format comes from the header.
+			re, err := Open(Options{MasterKey: master, Path: path})
+			if err != nil {
+				t.Fatalf("auto reopen: %v", err)
+			}
+			if got := scanAll(t, re); !reflect.DeepEqual(got, want) {
+				t.Fatal("auto reopen lost entries")
+			}
+			re.Close()
+
+			// The matching explicit request reopens too.
+			re, err = Open(Options{MasterKey: master, Path: path, NodeEncoding: tc.matches})
+			if err != nil {
+				t.Fatalf("matching explicit reopen: %v", err)
+			}
+			re.Close()
+
+			// The other format fails closed, and the rejection leaves the
+			// file openable.
+			if _, err := Open(Options{MasterKey: master, Path: path, NodeEncoding: tc.mismatch}); !errors.Is(err, ErrConfigMismatch) {
+				t.Fatalf("mismatched encoding Open = %v, want ErrConfigMismatch", err)
+			}
+			re, err = Open(Options{MasterKey: master, Path: path})
+			if err != nil {
+				t.Fatalf("reopen after rejected open: %v", err)
+			}
+			if got := scanAll(t, re); !reflect.DeepEqual(got, want) {
+				t.Fatal("rejected open disturbed the tree")
+			}
+			re.Close()
+		})
+	}
+}
+
+// TestNodeEncodingInvalid pins option validation for out-of-range encodings.
+func TestNodeEncodingInvalid(t *testing.T) {
+	_, err := Open(Options{MasterKey: bytes.Repeat([]byte{0x66}, 32), NodeEncoding: NodeEncoding(9)})
+	if !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("Open with NodeEncoding 9 = %v, want ErrInvalidOptions", err)
+	}
+}
+
+// prefixFriendlyOpts returns file-backed options whose substituter preserves
+// an 8-byte plaintext prefix (the bucketed scheme), so sequential key runs
+// produce long shared prefixes inside each node — the case prefix truncation
+// is built for.
+func prefixFriendlyOpts(t *testing.T, path string, enc NodeEncoding, shards int) Options {
+	t.Helper()
+	master := bytes.Repeat([]byte{0x55}, 32)
+	inner, err := keysub.NewHMAC(master, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := keysub.NewBucketed(inner, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Options{
+		MasterKey: master, Substituter: sub, Path: path,
+		NodeEncoding: enc, Shards: shards,
+	}
+}
+
+// TestPrefixEncodingShrinksFile writes the same workload under both node
+// formats and checks the prefix-truncated files are materially smaller —
+// the on-disk claim behind the encoding, at unit scale.
+func TestPrefixEncodingShrinksFile(t *testing.T) {
+	sizes := map[NodeEncoding]int64{}
+	for enc, name := range map[NodeEncoding]string{EncodingFull: "full", EncodingPrefix: "prefix"} {
+		path := filepath.Join(t.TempDir(), name+".ekb")
+		tr, err := Open(prefixFriendlyOpts(t, path, enc, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := tr.NewBatch()
+		for i := 0; i < 4000; i++ {
+			if err := b.Put([]byte(fmt.Sprintf("user%08d", i)), []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := b.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Vacuum(0); err != nil {
+			t.Fatal(err)
+		}
+		st, err := tr.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Keys != 4000 {
+			t.Fatalf("%s: Keys = %d", name, st.Keys)
+		}
+		sizes[enc] = st.LiveBytes
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sequential user IDs share >= 12 of 13 plaintext-prefix+hash bytes with
+	// a neighbor; anything under 10% savings means truncation isn't engaged.
+	if sizes[EncodingPrefix] >= sizes[EncodingFull]*9/10 {
+		t.Fatalf("prefix encoding not smaller: prefix=%d full=%d", sizes[EncodingPrefix], sizes[EncodingFull])
+	}
+	t.Logf("live bytes: full=%d prefix=%d (%.1f%% saved)",
+		sizes[EncodingFull], sizes[EncodingPrefix],
+		100*(1-float64(sizes[EncodingPrefix])/float64(sizes[EncodingFull])))
+}
+
+// TestTreeVacuum is the façade-level vacuum contract: churn creates garbage
+// visible as Stats.FileBytes >> LiveBytes, Vacuum(0) reclaims it across all
+// shards, content is untouched, and the tree reopens cleanly afterwards.
+func TestTreeVacuum(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vac.ekb")
+	opts := prefixFriendlyOpts(t, path, EncodingAuto, 3)
+	tr, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(i int) []byte { return []byte(fmt.Sprintf("user%08d", i)) }
+	for gen := 0; gen < 6; gen++ {
+		b := tr.NewBatch()
+		for i := 0; i < 1500; i++ {
+			if err := b.Put(key(i), []byte(fmt.Sprintf("gen-%d-value-%d", gen, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := b.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Dropping most of the keyspace leaves the B-tree a fraction of its peak:
+	// the freed pages' extents are garbage only a vacuum can return to the OS.
+	for i := 0; i < 1500; i++ {
+		if i%8 == 0 {
+			continue
+		}
+		if _, err := tr.Delete(key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := scanAll(t, tr)
+
+	before, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.FileBytes == 0 || before.LiveBytes == 0 {
+		t.Fatalf("file-backed tree reports no footprint: %+v", before)
+	}
+	if before.FileBytes < before.LiveBytes*5/4 {
+		t.Fatalf("churn created too little garbage: file=%d live=%d", before.FileBytes, before.LiveBytes)
+	}
+	if err := tr.Vacuum(0); err != nil {
+		t.Fatal(err)
+	}
+	after, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.FileBytes >= before.FileBytes {
+		t.Errorf("vacuum did not shrink: file %d -> %d", before.FileBytes, after.FileBytes)
+	}
+	// Allow each shard its compaction floor — a directory blob that can only
+	// descend into a hole that fits it whole, plus sub-page fragments — on
+	// top of half the garbage; the strict ratios are pinned by the
+	// store-level tests and the large soak tier, where scale dwarfs the floor.
+	allow := (before.FileBytes-before.LiveBytes)/2 + int64(3*1024)
+	if after.FileBytes > after.LiveBytes+allow {
+		t.Errorf("vacuum left too much slack: file=%d live=%d (was file=%d live=%d)",
+			after.FileBytes, after.LiveBytes, before.FileBytes, before.LiveBytes)
+	}
+	if got := scanAll(t, tr); !reflect.DeepEqual(got, want) {
+		t.Fatal("vacuum changed tree contents")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := scanAll(t, re); !reflect.DeepEqual(got, want) {
+		t.Fatal("reopened tree diverged after vacuum")
+	}
+
+	// Negative targets are rejected; a generous satisfied target is a no-op.
+	if err := re.Vacuum(-1); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("Vacuum(-1) = %v, want ErrInvalidOptions", err)
+	}
+	st, err := re.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Vacuum(2 * st.FileBytes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVacuumMemNoop: the in-memory backend has no layout to compact; Vacuum
+// succeeds as a no-op and the footprint gauges stay zero. The store is
+// pinned explicitly so EKBTREE_BACKEND=file doesn't swap it out.
+func TestVacuumMemNoop(t *testing.T) {
+	tr := mustOpen(t, Options{MasterKey: bytes.Repeat([]byte{0x44}, 32), Store: NewMemStore()})
+	defer tr.Close()
+	if err := tr.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Vacuum(0); err != nil {
+		t.Fatalf("mem vacuum: %v", err)
+	}
+	st, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FileBytes != 0 || st.LiveBytes != 0 {
+		t.Fatalf("in-memory tree reports footprint: %+v", st)
+	}
+	if v, ok, err := tr.Get([]byte("k")); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get after vacuum = (%q, %v, %v)", v, ok, err)
+	}
+}

@@ -223,3 +223,12 @@ func (c *Client) Sync() error {
 	_, err := c.do(&Sync{})
 	return err
 }
+
+// Vacuum compacts the tenant tree's backing files online until their total
+// size is at or below target bytes, or as far as the layout allows for 0. It
+// returns when the pass completes; other connections' traffic proceeds
+// throughout.
+func (c *Client) Vacuum(target uint64) error {
+	_, err := c.do(&Vacuum{Target: target})
+	return err
+}

@@ -20,6 +20,7 @@ const (
 	OpCursorClose Op = 0x17
 	OpStats       Op = 0x18
 	OpSync        Op = 0x19
+	OpVacuum      Op = 0x1A
 )
 
 // String names the op for logs and errors.
@@ -49,6 +50,8 @@ func (op Op) String() string {
 		return "Stats"
 	case OpSync:
 		return "Sync"
+	case OpVacuum:
+		return "Vacuum"
 	default:
 		return "Op(unknown)"
 	}
@@ -99,6 +102,8 @@ func DecodeRequest(payload []byte) (Request, error) {
 		req = &Stats{}
 	case OpSync:
 		req = &Sync{}
+	case OpVacuum:
+		req = &Vacuum{}
 	default:
 		return nil, errorf("unknown opcode 0x%02x", payload[0])
 	}
@@ -305,3 +310,15 @@ type Sync struct{}
 func (*Sync) op() Op                { return OpSync }
 func (m *Sync) enc(b []byte) []byte { return b }
 func (m *Sync) dec(d *decoder)      {}
+
+// Vacuum compacts the tenant tree's backing files online until their total
+// size is at or below Target bytes or no further batch improves it (0 =
+// compact as far as the layout allows). Reads and writes on other connections
+// proceed throughout. In-memory tenants treat it as a no-op. OK body: empty.
+type Vacuum struct {
+	Target uint64
+}
+
+func (*Vacuum) op() Op                { return OpVacuum }
+func (m *Vacuum) enc(b []byte) []byte { return appendUvarint(b, m.Target) }
+func (m *Vacuum) dec(d *decoder)      { m.Target = d.uvarint() }

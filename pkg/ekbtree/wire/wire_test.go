@@ -75,6 +75,8 @@ func TestRequestRoundTrip(t *testing.T) {
 		&CursorClose{Cursor: 1 << 40},
 		&Stats{},
 		&Sync{},
+		&Vacuum{},
+		&Vacuum{Target: 1 << 40},
 	}
 	for _, req := range reqs {
 		payload := EncodeRequest(req)

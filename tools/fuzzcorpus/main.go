@@ -57,6 +57,47 @@ func main() {
 	}))
 	write(dec, "seed-truncated", []byte{0xEB, 0x01, 0x01, 0x00, 0x02, 0x00})
 
+	encP := func(n *node.Node) []byte {
+		p, err := n.EncodeFormat(node.FormatPrefix)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	}
+	pfx := filepath.Join(root, "internal/node/testdata/fuzz/FuzzDecodePrefixTruncated")
+	write(pfx, "seed-empty-leaf", encP(&node.Node{Leaf: true}))
+	write(pfx, "seed-bucketed-internal", encP(&node.Node{
+		Keys: [][]byte{
+			[]byte("bucket0017-user-000041"),
+			[]byte("bucket0017-user-000389"),
+			[]byte("bucket0018-user-000007"),
+		},
+		Values:   [][]byte{[]byte("s0"), {}, []byte("s2")},
+		Children: []uint64{7, 9, 1 << 33, ^uint64(0)},
+	}))
+	write(pfx, "seed-deep-shared-leaf", encP(&node.Node{
+		Leaf: true,
+		Keys: [][]byte{
+			bytes.Repeat([]byte{0x42}, 24),
+			append(bytes.Repeat([]byte{0x42}, 23), 0x43),
+			append(bytes.Repeat([]byte{0x42}, 23), 0x44),
+		},
+		Values: [][]byte{[]byte("1"), {}, bytes.Repeat([]byte{0xAB}, 64)},
+	}))
+	write(pfx, "seed-empty-keys", encP(&node.Node{
+		Leaf:   true,
+		Keys:   [][]byte{{}, {0x00}, {0x00, 0x00}},
+		Values: [][]byte{{}, {}, {0xFF}},
+	}))
+	// Non-canonical near-miss: key2 under-truncated (suffix "b" repeats
+	// prev[1]); Decode must reject it.
+	write(pfx, "seed-under-truncated", []byte{
+		0xEB, 0x01, 0x03, 0x00, 0x02,
+		0x00, 0x00, 0x00, 0x02, 'a', 'b',
+		0x00, 0x01, 0x00, 0x01, 'b',
+		0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+	})
+
 	rt := filepath.Join(root, "internal/keysub/testdata/fuzz/FuzzSubstituteRoundTrip")
 	write(rt, "seed-users", []byte("user:0001"), []byte("user:0002"))
 	write(rt, "seed-bucket-edge", []byte{0xFF, 0xFF}, []byte{0x00})
